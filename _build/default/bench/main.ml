@@ -1,0 +1,262 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation,
+   then measures the code paths behind each one with Bechamel.
+
+   Structure (one Test.make per table / claim):
+     table1/*    — the 15 library designs (PareDown + exhaustive)
+     table2/*    — random designs of the paper's bucket sizes
+     scale/*     — the §5.2 465-inner-node claim
+     worstcase/* — the §4.2 O(n^2) family
+     ablation/*  — PareDown ingredient variants and the aggregation baseline
+     codegen/*   — merge + C emission
+     sim/*       — simulator settle and VCD export on a library design
+     power/*     — the packet-count power proxy
+     frontend/*  — behaviour-language parsing
+
+   Run with: dune exec bench/main.exe
+   (set BENCH_TABLES_ONLY=1 to print the tables and skip the timings) *)
+
+open Bechamel
+open Toolkit
+
+module Graph = Netlist.Graph
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's tables.                              *)
+
+let print_tables () =
+  print_endline "== Table 1: library designs (exhaustive vs PareDown) ==\n";
+  let config =
+    { Experiments.Table1.default_config with exhaustive_cutoff = 10 }
+  in
+  print_string (Experiments.Table1.to_table (Experiments.Table1.run ~config ()));
+  print_endline "\n== Table 2: random designs (reduced bucket sizes) ==\n";
+  let config =
+    {
+      Experiments.Table2.default_config with
+      Experiments.Table2.sizes =
+        [ (3, 80); (4, 80); (5, 60); (6, 50); (7, 40); (8, 30); (9, 15);
+          (10, 8); (11, 4); (14, 60); (15, 60); (20, 40); (25, 30);
+          (35, 15); (45, 8) ];
+      exhaustive_cutoff = 11;
+      exhaustive_deadline_s = 10.0;
+    }
+  in
+  print_string (Experiments.Table2.to_table (Experiments.Table2.run ~config ()));
+  print_endline "\n== Scalability (§5.2) ==\n";
+  print_string (Experiments.Scale.to_table (Experiments.Scale.run_random ()));
+  print_endline "\n== Worst case (§4.2) ==\n";
+  print_string
+    (Experiments.Scale.to_table (Experiments.Scale.run_worst_case ()));
+  print_endline "\n== Ablations ==\n";
+  print_string
+    (Experiments.Ablation.to_table
+       (Experiments.Ablation.run ~count:40 ~inner:20 ()));
+  print_endline "\n== Power proxy: packets before/after synthesis ==\n";
+  print_string (Experiments.Power.to_table (Experiments.Power.run ~steps:100 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks.                                  *)
+
+let paredown_solution g = (Core.Paredown.run g).Core.Paredown.solution
+
+let random_design ~seed ~inner =
+  Randgen.Generator.generate ~rng:(Prng.create seed) ~inner ()
+
+let library_networks =
+  List.map (fun d -> d.Designs.Design.network) Designs.Library.table1
+
+let small_library_networks =
+  List.filter (fun g -> Graph.inner_count g <= 8) library_networks
+
+let table1_tests =
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"paredown-library"
+        (Staged.stage (fun () -> List.map paredown_solution library_networks));
+      Test.make ~name:"exhaustive-library-small"
+        (Staged.stage (fun () ->
+             List.map
+               (fun g -> (Core.Exhaustive.run g).Core.Exhaustive.solution)
+               small_library_networks));
+    ]
+
+let table2_tests =
+  let g8 = random_design ~seed:1 ~inner:8 in
+  let g10 = random_design ~seed:2 ~inner:10 in
+  let g20 = random_design ~seed:3 ~inner:20 in
+  let g45 = random_design ~seed:4 ~inner:45 in
+  Test.make_grouped ~name:"table2"
+    [
+      Test.make ~name:"paredown-random-10"
+        (Staged.stage (fun () -> paredown_solution g10));
+      Test.make ~name:"paredown-random-20"
+        (Staged.stage (fun () -> paredown_solution g20));
+      Test.make ~name:"paredown-random-45"
+        (Staged.stage (fun () -> paredown_solution g45));
+      Test.make ~name:"exhaustive-random-8"
+        (Staged.stage (fun () ->
+             (Core.Exhaustive.run g8).Core.Exhaustive.solution));
+      Test.make ~name:"generator-random-20"
+        (Staged.stage (fun () -> random_design ~seed:5 ~inner:20));
+    ]
+
+let scale_tests =
+  let g465 = random_design ~seed:465 ~inner:465 in
+  let g100 = random_design ~seed:100 ~inner:100 in
+  Test.make_grouped ~name:"scale"
+    [
+      Test.make ~name:"paredown-100"
+        (Staged.stage (fun () -> paredown_solution g100));
+      Test.make ~name:"paredown-465"
+        (Staged.stage (fun () -> paredown_solution g465));
+    ]
+
+let worstcase_tests =
+  let w20 = Randgen.Generator.worst_case ~inner:20 in
+  let w40 = Randgen.Generator.worst_case ~inner:40 in
+  Test.make_grouped ~name:"worstcase"
+    [
+      Test.make ~name:"paredown-20"
+        (Staged.stage (fun () -> paredown_solution w20));
+      Test.make ~name:"paredown-40"
+        (Staged.stage (fun () -> paredown_solution w40));
+    ]
+
+let ablation_tests =
+  let g = random_design ~seed:6 ~inner:20 in
+  let with_config config () =
+    (Core.Paredown.run ~config g).Core.Paredown.solution
+  in
+  let base = Core.Paredown.default_config in
+  Test.make_grouped ~name:"ablation"
+    [
+      Test.make ~name:"paredown-default" (Staged.stage (with_config base));
+      Test.make ~name:"no-convexity"
+        (Staged.stage
+           (with_config
+              {
+                base with
+                partition_config =
+                  { Core.Partition.default_config with require_convex = false };
+              }));
+      Test.make ~name:"net-pin-counting"
+        (Staged.stage
+           (with_config
+              {
+                base with
+                partition_config =
+                  {
+                    Core.Partition.default_config with
+                    pin_counting = Core.Partition.Per_net;
+                  };
+              }));
+      Test.make ~name:"multi-shape-2x2-4x4"
+        (Staged.stage
+           (with_config
+              {
+                base with
+                shapes =
+                  [
+                    Core.Shape.default;
+                    Core.Shape.make ~inputs:4 ~outputs:4 ~cost:1.9 ();
+                  ];
+              }));
+      Test.make ~name:"aggregation-baseline"
+        (Staged.stage (fun () -> Core.Aggregation.run g));
+    ]
+
+let codegen_tests =
+  let g = Designs.Library.podium_timer_3.Designs.Design.network in
+  let members = Netlist.Node_id.set_of_list [ 2; 3; 4; 5 ] in
+  let plan = Codegen.Plan.build g members in
+  let sol = (Core.Paredown.run g).Core.Paredown.solution in
+  Test.make_grouped ~name:"codegen"
+    [
+      Test.make ~name:"plan-build"
+        (Staged.stage (fun () -> Codegen.Plan.build g members));
+      Test.make ~name:"c-emit"
+        (Staged.stage (fun () ->
+             Codegen.C_emit.program ~n_inputs:1 ~n_outputs:2
+               plan.Codegen.Plan.program));
+      Test.make ~name:"replace-network"
+        (Staged.stage (fun () -> Codegen.Replace.apply g sol));
+    ]
+
+let sim_tests =
+  let g = Designs.Library.two_zone_security.Designs.Design.network in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create 21) ~sensors:(Graph.sensors g)
+      ~steps:30 ~spacing:15
+  in
+  Test.make_grouped ~name:"sim"
+    [
+      Test.make ~name:"settle-two-zone-security"
+        (Staged.stage (fun () ->
+             let engine = Sim.Engine.create g in
+             Sim.Stimulus.settled_outputs engine script));
+      Test.make ~name:"vcd-record"
+        (Staged.stage (fun () -> Sim.Vcd.record g script));
+    ]
+
+let power_tests =
+  Test.make_grouped ~name:"power"
+    [
+      Test.make ~name:"packets-podium"
+        (Staged.stage (fun () ->
+             Experiments.Power.run_design ~steps:50
+               Designs.Library.podium_timer_3));
+    ]
+
+let parse_tests =
+  let source =
+    Behavior.Ast.program_to_string
+      (Codegen.Plan.build Designs.Library.podium_timer_3.Designs.Design.network
+         (Netlist.Node_id.set_of_list [ 2; 3; 4; 5 ]))
+        .Codegen.Plan.program
+  in
+  Test.make_grouped ~name:"frontend"
+    [
+      Test.make ~name:"parse-merged-program"
+        (Staged.stage (fun () -> Behavior.Parse.program source));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"paredown"
+    [
+      table1_tests; table2_tests; scale_tests; worstcase_tests;
+      ablation_tests; codegen_tests; sim_tests; power_tests; parse_tests;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image
+
+let () =
+  print_tables ();
+  if Sys.getenv_opt "BENCH_TABLES_ONLY" = None then begin
+    print_endline "\n== Bechamel micro-benchmarks ==\n";
+    run_benchmarks ()
+  end

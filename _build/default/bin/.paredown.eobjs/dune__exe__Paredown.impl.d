@@ -1,0 +1,1 @@
+bin/paredown.ml: Arg Behavior Cmd Cmdliner Codegen Core Designs Eblock Filename Format List Netlist Option Printf Prng Randgen Sim Sys Term

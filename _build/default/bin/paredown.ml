@@ -1,0 +1,293 @@
+(* Command-line front end for the eBlock synthesis tool chain:
+   inspect designs, partition them, synthesise programmable-block
+   networks, emit C, simulate, and verify equivalence. *)
+
+open Cmdliner
+
+module Graph = Netlist.Graph
+
+let load_network name_or_path =
+  match Designs.Library.find name_or_path with
+  | Some d -> (d.Designs.Design.name, d.Designs.Design.network)
+  | None ->
+    if Sys.file_exists name_or_path then begin
+      let name, g = Netlist.Textio.read_file name_or_path in
+      (Option.value name ~default:name_or_path, g)
+    end
+    else
+      failwith
+        (Printf.sprintf
+           "%S is neither a library design nor a netlist file (try \
+            'paredown list')"
+           name_or_path)
+
+let design_arg =
+  let doc = "Library design name (see $(b,list)) or netlist file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let shape_args =
+  let inputs =
+    Arg.(value & opt int 2
+         & info [ "inputs" ] ~doc:"Programmable block input pins.")
+  in
+  let outputs =
+    Arg.(value & opt int 2
+         & info [ "outputs" ] ~doc:"Programmable block output pins.")
+  in
+  Term.(
+    const (fun i o -> Core.Shape.make ~inputs:i ~outputs:o ())
+    $ inputs $ outputs)
+
+let algorithm_arg =
+  let alg =
+    Arg.enum
+      [ ("paredown", `Paredown); ("exhaustive", `Exhaustive);
+        ("aggregation", `Aggregation) ]
+  in
+  Arg.(value & opt alg `Paredown
+       & info [ "algorithm"; "a" ]
+           ~doc:"Partitioning algorithm: $(b,paredown), $(b,exhaustive), \
+                 or $(b,aggregation).")
+
+let partition_network ~algorithm ~shape g =
+  match algorithm with
+  | `Paredown ->
+    let config =
+      { Core.Paredown.default_config with shapes = [ shape ] }
+    in
+    (Core.Paredown.run ~config g).Core.Paredown.solution
+  | `Exhaustive ->
+    let config =
+      { Core.Exhaustive.default_config with shapes = [ shape ] }
+    in
+    (Core.Exhaustive.run ~config ~deadline_s:120.0 g).Core.Exhaustive.solution
+  | `Aggregation ->
+    let config =
+      { Core.Aggregation.default_config with shapes = [ shape ] }
+    in
+    Core.Aggregation.run ~config g
+
+let print_solution g sol =
+  Format.printf "@[<v>%a@]@." Core.Solution.pp sol;
+  Format.printf "inner blocks: %d -> %d (%d programmable)@."
+    (Graph.inner_count g)
+    (Core.Solution.total_inner_after g sol)
+    (Core.Solution.programmable_count sol);
+  Format.printf "network cost: %.1f -> %.1f@."
+    (Graph.total_cost g)
+    (Graph.total_cost g
+     -. Core.Solution.total_cost_after g Core.Solution.empty
+     +. Core.Solution.total_cost_after g sol)
+
+(* list *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun d ->
+        Printf.printf "%-28s %2d inner  %s\n" d.Designs.Design.name
+          (Designs.Design.inner_count d) d.Designs.Design.description)
+      Designs.Library.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in design library.")
+    Term.(const run $ const ())
+
+(* show *)
+
+let show_cmd =
+  let dot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write Graphviz to $(docv).")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print structural statistics instead of \
+                                  the netlist.")
+  in
+  let run design dot stats =
+    let name, g = load_network design in
+    Printf.printf "%s\n" name;
+    if stats then Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute g)
+    else begin
+      Format.printf "%a@." Graph.pp g;
+      print_string (Netlist.Textio.to_string ~name g)
+    end;
+    Option.iter (fun path -> Netlist.Dot.write_file path g) dot
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a design's netlist.")
+    Term.(const run $ design_arg $ dot_arg $ stats_arg)
+
+(* partition *)
+
+let partition_cmd =
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Print the PareDown decision trace.")
+  in
+  let run design algorithm shape trace =
+    let _, g = load_network design in
+    if trace && algorithm = `Paredown then begin
+      let config =
+        { Core.Paredown.default_config with shapes = [ shape ] }
+      in
+      let r = Core.Paredown.run ~config ~record_trace:true g in
+      List.iter
+        (fun e -> Format.printf "%a@." Core.Paredown.pp_event e)
+        r.Core.Paredown.trace;
+      print_solution g r.Core.Paredown.solution
+    end
+    else print_solution g (partition_network ~algorithm ~shape g)
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Partition a design onto programmable blocks.")
+    Term.(const run $ design_arg $ algorithm_arg $ shape_args $ trace_arg)
+
+(* synth *)
+
+let synth_cmd =
+  let emit_c_arg =
+    Arg.(value & opt (some string) None
+         & info [ "emit-c" ] ~docv:"DIR"
+             ~doc:"Write one C file per programmable block into $(docv).")
+  in
+  let dot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Write the synthesised network as Graphviz to $(docv).")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Co-simulate original and synthesised networks on random \
+                   stimuli and check the settled outputs agree.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Write the synthesised netlist (including defblock \
+                   sections for the programmable blocks) to $(docv).")
+  in
+  let run design algorithm shape emit_c dot verify save =
+    let name, g = load_network design in
+    let sol = partition_network ~algorithm ~shape g in
+    let result = Codegen.Replace.apply g sol in
+    let g' = result.Codegen.Replace.network in
+    print_solution g sol;
+    Format.printf "synthesised: %a@." Graph.pp g';
+    Option.iter
+      (fun path ->
+        Netlist.Textio.write_file path ~name:(name ^ " (synthesised)") g')
+      save;
+    (match emit_c with
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       List.iteri
+         (fun i prog_id ->
+           let d = Graph.descriptor g' prog_id in
+           let path = Filename.concat dir (Printf.sprintf "prog%d.c" (i + 1)) in
+           Codegen.C_emit.write_file path
+             ~block_name:(Printf.sprintf "%s partition %d" name (i + 1))
+             ~n_inputs:d.Eblock.Descriptor.n_inputs
+             ~n_outputs:d.Eblock.Descriptor.n_outputs
+             d.Eblock.Descriptor.behavior;
+           Printf.printf "wrote %s (approx. %d words)\n" path
+             (Codegen.Size.estimate_words d.Eblock.Descriptor.behavior))
+         result.Codegen.Replace.programmable_ids
+     | None -> ());
+    Option.iter (fun path -> Netlist.Dot.write_file path g') dot;
+    if verify then begin
+      match
+        Sim.Equiv.check_random ~reference:g ~candidate:g' ~seed:99 ~steps:60
+      with
+      | Ok () -> print_endline "verify: settled outputs match on 60 random steps"
+      | Error m ->
+        Format.printf "verify FAILED: %a@." Sim.Equiv.pp_mismatch m;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Partition, replace with programmable blocks, and optionally \
+             emit C and verify.")
+    Term.(
+      const run $ design_arg $ algorithm_arg $ shape_args $ emit_c_arg
+      $ dot_arg $ verify_arg $ save_arg)
+
+(* simulate *)
+
+let simulate_cmd =
+  let steps_arg =
+    Arg.(value & opt int 20
+         & info [ "steps" ] ~doc:"Random sensor flips to apply.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Stimulus seed.")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"FILE"
+             ~doc:"Also dump the primary-output waveform as VCD to $(docv).")
+  in
+  let run design steps seed vcd =
+    let name, g = load_network design in
+    let engine = Sim.Engine.create g in
+    let rng = Prng.create seed in
+    let script =
+      Sim.Stimulus.random ~rng ~sensors:(Graph.sensors g) ~steps ~spacing:20
+    in
+    Printf.printf "%s: applying %d random sensor changes\n" name steps;
+    let observations = Sim.Stimulus.settled_outputs engine script in
+    List.iter
+      (fun (time, outputs) ->
+        Format.printf "@%4d  %a@." time
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ")
+             (fun ppf (id, v) ->
+               Format.fprintf ppf "out%d=%a" id Behavior.Ast.pp_value v))
+          outputs)
+      observations;
+    Printf.printf "block activations: %d, packets: %d\n"
+      (Sim.Engine.activation_count engine)
+      (Sim.Engine.packet_count engine);
+    Option.iter (fun path -> Sim.Vcd.write_file path g script) vcd
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Drive a design with random stimuli.")
+    Term.(const run $ design_arg $ steps_arg $ seed_arg $ vcd_arg)
+
+(* generate *)
+
+let generate_cmd =
+  let inner_arg =
+    Arg.(value & opt int 15 & info [ "inner" ] ~doc:"Inner block count.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Write the netlist to $(docv).")
+  in
+  let run inner seed save =
+    let rng = Prng.create seed in
+    let g = Randgen.Generator.generate ~rng ~inner () in
+    let name = Printf.sprintf "random-%d-%d" inner seed in
+    (match save with
+     | Some path -> Netlist.Textio.write_file path ~name g
+     | None -> print_string (Netlist.Textio.to_string ~name g));
+    Format.eprintf "%a@." Graph.pp g
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a random eBlock design.")
+    Term.(const run $ inner_arg $ seed_arg $ save_arg)
+
+let () =
+  let info =
+    Cmd.info "paredown"
+      ~doc:"eBlock system synthesis: partitioning networks of pre-defined \
+            blocks onto programmable blocks (DATE 2005 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
+            generate_cmd ]))

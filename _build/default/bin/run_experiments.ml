@@ -1,0 +1,152 @@
+(* Regenerates every table and claim of the paper's evaluation (§5).
+   Subcommands: table1, table2, scale, worstcase, ablation, all. *)
+
+open Cmdliner
+
+let out_arg =
+  let doc = "Also write the table as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let write_csv path csv =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc csv)
+
+let print_header title =
+  Printf.printf "\n== %s ==\n\n" title
+
+let run_table1 cutoff csv_out () =
+  print_header "Table 1: 15 library designs (exhaustive vs PareDown)";
+  let config =
+    { Experiments.Table1.default_config with exhaustive_cutoff = cutoff }
+  in
+  let rows = Experiments.Table1.run ~config () in
+  print_string (Experiments.Table1.to_table rows);
+  Option.iter
+    (fun path -> write_csv path (Experiments.Table1.to_csv rows))
+    csv_out
+
+let run_table2 seed scale_counts cutoff csv_out () =
+  print_header "Table 2: randomly generated designs";
+  let base = Experiments.Table2.default_config in
+  let sizes =
+    List.map
+      (fun (inner, count) ->
+        (inner, max 1 (int_of_float (float_of_int count *. scale_counts))))
+      base.Experiments.Table2.sizes
+  in
+  let config =
+    { base with Experiments.Table2.seed; sizes; exhaustive_cutoff = cutoff }
+  in
+  let buckets = Experiments.Table2.run ~config () in
+  print_string (Experiments.Table2.to_table buckets);
+  Option.iter
+    (fun path -> write_csv path (Experiments.Table2.to_csv buckets))
+    csv_out
+
+let run_scale () =
+  print_header "Scalability (§5.2): PareDown on large random designs";
+  print_string (Experiments.Scale.to_table (Experiments.Scale.run_random ()));
+  print_header "Worst-case family (§4.2): fit checks = n(n+1)/2";
+  print_string
+    (Experiments.Scale.to_table (Experiments.Scale.run_worst_case ()))
+
+let run_ablation seed count inner () =
+  print_header "Ablations: PareDown ingredients and baselines";
+  print_string
+    (Experiments.Ablation.to_table
+       (Experiments.Ablation.run ~seed ~count ~inner ()))
+
+let run_power seed steps () =
+  print_header
+    "Power proxy (Â§1): packets transmitted before/after synthesis";
+  print_string
+    (Experiments.Power.to_table (Experiments.Power.run ~seed ~steps ()))
+
+let cutoff_arg default =
+  let doc = "Largest inner-block count attempted exhaustively." in
+  Arg.(value & opt int default & info [ "exhaustive-cutoff" ] ~doc)
+
+let seed_arg default =
+  let doc = "Random seed (results are deterministic per seed)." in
+  Arg.(value & opt int default & info [ "seed" ] ~doc)
+
+let table1_cmd =
+  let term =
+    Term.(
+      const (fun cutoff csv -> run_table1 cutoff csv ())
+      $ cutoff_arg 11 $ out_arg)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1.") term
+
+let table2_cmd =
+  let scale_arg =
+    let doc =
+      "Scale factor on the per-bucket design counts (1.0 uses the \
+       reduced defaults; larger values approach the paper's counts)."
+    in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
+  in
+  let term =
+    Term.(
+      const (fun seed scale cutoff csv -> run_table2 seed scale cutoff csv ())
+      $ seed_arg 2005 $ scale_arg $ cutoff_arg 11 $ out_arg)
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2.") term
+
+let scale_cmd =
+  Cmd.v
+    (Cmd.info "scale" ~doc:"Regenerate the scalability and worst-case claims.")
+    Term.(const run_scale $ const ())
+
+let ablation_cmd =
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~doc:"Designs per variant.")
+  in
+  let inner_arg =
+    Arg.(value & opt int 20 & info [ "inner" ] ~doc:"Inner blocks per design.")
+  in
+  let term =
+    Term.(
+      const (fun seed count inner -> run_ablation seed count inner ())
+      $ seed_arg 7 $ count_arg $ inner_arg)
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run the ablation studies.") term
+
+let power_cmd =
+  let steps_arg =
+    Arg.(value & opt int 200
+         & info [ "steps" ] ~doc:"Random sensor changes per design.")
+  in
+  let term =
+    Term.(
+      const (fun seed steps -> run_power seed steps ())
+      $ seed_arg 23 $ steps_arg)
+  in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:"Compare packet counts before and after synthesis.")
+    term
+
+let all_cmd =
+  let term =
+    Term.(
+      const (fun () ->
+          run_table1 11 None ();
+          run_table2 2005 1.0 11 None ();
+          run_scale ();
+          run_ablation 7 50 20 ();
+          run_power 23 200 ())
+      $ const ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") term
+
+let () =
+  let info =
+    Cmd.info "experiments"
+      ~doc:"Regenerate the tables of 'System Synthesis for Networks of \
+            Programmable Blocks' (DATE 2005)."
+  in
+  exit (Cmd.eval (Cmd.group info
+                    [ table1_cmd; table2_cmd; scale_cmd; ablation_cmd;
+                      power_cmd; all_cmd ]))

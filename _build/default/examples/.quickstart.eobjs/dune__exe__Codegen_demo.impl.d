@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: Array Behavior Codegen Core Designs Eblock Format List Netlist Printf

@@ -1,0 +1,1 @@
+examples/custom_blocks.ml: Behavior Codegen Core Eblock Format List Netlist Option Sim

@@ -1,0 +1,1 @@
+examples/doorbell_extender.ml: Codegen Core Designs Format Netlist

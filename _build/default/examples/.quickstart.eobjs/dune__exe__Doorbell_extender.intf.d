@@ -1,0 +1,1 @@
+examples/doorbell_extender.mli:

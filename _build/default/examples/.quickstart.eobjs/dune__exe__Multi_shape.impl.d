@@ -1,0 +1,1 @@
+examples/multi_shape.ml: Core Designs List Netlist Printf Prng Randgen

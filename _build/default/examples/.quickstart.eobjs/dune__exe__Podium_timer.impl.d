@@ -1,0 +1,1 @@
+examples/podium_timer.ml: Core Designs Format List Netlist

@@ -1,0 +1,1 @@
+examples/podium_timer.mli:

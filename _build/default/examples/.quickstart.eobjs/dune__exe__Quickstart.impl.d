@@ -1,0 +1,1 @@
+examples/quickstart.ml: Behavior Codegen Core Eblock Format List Netlist Printf Sim

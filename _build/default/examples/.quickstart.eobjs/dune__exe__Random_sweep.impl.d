@@ -1,0 +1,1 @@
+examples/random_sweep.ml: Core List Printf Prng Randgen

@@ -1,0 +1,1 @@
+examples/smart_home.ml: Behavior Codegen Core Eblock Filename Format List Netlist Printf Prng Sim

@@ -1,0 +1,1 @@
+lib/behavior/ast.ml: Bool Format Int List Set String

@@ -1,0 +1,1 @@
+lib/behavior/ast.mli: Format

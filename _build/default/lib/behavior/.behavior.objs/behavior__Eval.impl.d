@@ -1,0 +1,1 @@
+lib/behavior/eval.ml: Array Ast Bool Format Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/behavior/eval.mli: Ast

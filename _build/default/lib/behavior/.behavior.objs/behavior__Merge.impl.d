@@ -1,0 +1,1 @@
+lib/behavior/merge.ml: Array Ast Format List Rename Set String

@@ -1,0 +1,1 @@
+lib/behavior/merge.mli: Ast

@@ -1,0 +1,1 @@
+lib/behavior/parse.ml: Array Ast Format List Printf String

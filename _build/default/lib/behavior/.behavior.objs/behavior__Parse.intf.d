@@ -1,0 +1,1 @@
+lib/behavior/parse.mli: Ast

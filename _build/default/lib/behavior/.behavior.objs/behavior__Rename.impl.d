@@ -1,0 +1,1 @@
+lib/behavior/rename.ml: Ast List Set String

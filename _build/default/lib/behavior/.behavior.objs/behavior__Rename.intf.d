@@ -1,0 +1,1 @@
+lib/behavior/rename.mli: Ast

@@ -1,0 +1,254 @@
+type value =
+  | Bool of bool
+  | Int of int
+
+type unop =
+  | Not
+  | Neg
+
+type binop =
+  | And | Or | Xor
+  | Add | Sub | Mul
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Const of value
+  | Var of string
+  | Input of int
+  | Timer_fired of int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | If_expr of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Output of int * expr
+  | If of expr * stmt list * stmt list
+  | Set_timer of int * expr
+  | Cancel_timer of int
+  | Nop
+
+type program = {
+  state : (string * value) list;
+  body : stmt list;
+}
+
+let empty = { state = []; body = [] }
+
+let bool_ b = Const (Bool b)
+let int_ n = Const (Int n)
+let ( &&& ) a b = Binop (And, a, b)
+let ( ||| ) a b = Binop (Or, a, b)
+let not_ e = Unop (Not, e)
+let input i = Input i
+let var name = Var name
+
+let equal_value v1 v2 =
+  match v1, v2 with
+  | Bool b1, Bool b2 -> Bool.equal b1 b2
+  | Int n1, Int n2 -> Int.equal n1 n2
+  | Bool _, Int _ | Int _, Bool _ -> false
+
+let compare_value v1 v2 =
+  match v1, v2 with
+  | Bool b1, Bool b2 -> Bool.compare b1 b2
+  | Int n1, Int n2 -> Int.compare n1 n2
+  | Bool _, Int _ -> -1
+  | Int _, Bool _ -> 1
+
+let pp_value ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+
+let unop_symbol = function
+  | Not -> "!"
+  | Neg -> "-"
+
+let binop_symbol = function
+  | And -> "&&"
+  | Or -> "||"
+  | Xor -> "^"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Const v -> pp_value ppf v
+  | Var name -> Format.pp_print_string ppf name
+  | Input i -> Format.fprintf ppf "in[%d]" i
+  | Timer_fired t -> Format.fprintf ppf "timer_fired(%d)" t
+  | Unop (op, e) -> Format.fprintf ppf "%s%a" (unop_symbol op) pp_atom e
+  | Binop (op, e1, e2) ->
+    Format.fprintf ppf "%a %s %a" pp_atom e1 (binop_symbol op) pp_atom e2
+  | If_expr (c, t, e) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr e
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Input _ | Timer_fired _ -> pp_expr ppf e
+  | Unop _ | Binop _ | If_expr _ -> Format.fprintf ppf "(%a)" pp_expr e
+
+let rec pp_stmt ppf = function
+  | Assign (name, e) -> Format.fprintf ppf "%s = %a;" name pp_expr e
+  | Output (i, e) -> Format.fprintf ppf "out[%d] = %a;" i pp_expr e
+  | If (c, then_, []) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block then_
+  | If (c, then_, else_) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+      pp_expr c pp_block then_ pp_block else_
+  | Set_timer (t, e) -> Format.fprintf ppf "set_timer(%d, %a);" t pp_expr e
+  | Cancel_timer t -> Format.fprintf ppf "cancel_timer(%d);" t
+  | Nop -> Format.pp_print_string ppf ";"
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_program ppf { state; body } =
+  let pp_decl ppf (name, v) =
+    Format.fprintf ppf "state %s = %a;" name pp_value v
+  in
+  Format.fprintf ppf "@[<v>%a%a%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl) state
+    (fun ppf () -> if state <> [] && body <> [] then Format.pp_print_cut ppf ())
+    ()
+    pp_block body
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let program_to_string p = Format.asprintf "%a" pp_program p
+
+(* Structural folds used by the static queries below. *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Var _ | Input _ | Timer_fired _ -> acc
+  | Unop (_, e1) -> fold_expr f acc e1
+  | Binop (_, e1, e2) -> fold_expr f (fold_expr f acc e1) e2
+  | If_expr (c, t, e') -> fold_expr f (fold_expr f (fold_expr f acc c) t) e'
+
+let rec fold_stmt fs fe acc s =
+  let acc = fs acc s in
+  match s with
+  | Assign (_, e) | Output (_, e) | Set_timer (_, e) -> fold_expr fe acc e
+  | If (c, then_, else_) ->
+    let acc = fold_expr fe acc c in
+    let acc = List.fold_left (fold_stmt fs fe) acc then_ in
+    List.fold_left (fold_stmt fs fe) acc else_
+  | Cancel_timer _ | Nop -> acc
+
+let fold_program fs fe acc { state = _; body } =
+  List.fold_left (fold_stmt fs fe) acc body
+
+let max_input_index p =
+  let on_expr acc = function Input i -> max acc i | _ -> acc in
+  fold_program (fun acc _ -> acc) on_expr (-1) p
+
+let max_output_index p =
+  let on_stmt acc = function Output (i, _) -> max acc i | _ -> acc in
+  fold_program on_stmt (fun acc _ -> acc) (-1) p
+
+let max_timer_index p =
+  let on_stmt acc = function
+    | Set_timer (t, _) | Cancel_timer t -> max acc t
+    | Assign _ | Output _ | If _ | Nop -> acc
+  in
+  let on_expr acc = function Timer_fired t -> max acc t | _ -> acc in
+  fold_program on_stmt on_expr (-1) p
+
+let uses_timer p = max_timer_index p >= 0
+
+let map_ports ?expr_of_input ?rewrite_output ?timer_index p =
+  let expr_of_input =
+    match expr_of_input with Some f -> f | None -> fun i -> Input i
+  in
+  let rewrite_output =
+    match rewrite_output with
+    | Some f -> f
+    | None -> fun i e -> [ Output (i, e) ]
+  in
+  let timer_index =
+    match timer_index with Some f -> f | None -> fun t -> t
+  in
+  let rec map_expr e =
+    match e with
+    | Const _ | Var _ -> e
+    | Input i -> expr_of_input i
+    | Timer_fired t -> Timer_fired (timer_index t)
+    | Unop (op, e1) -> Unop (op, map_expr e1)
+    | Binop (op, e1, e2) -> Binop (op, map_expr e1, map_expr e2)
+    | If_expr (c, t, f) -> If_expr (map_expr c, map_expr t, map_expr f)
+  in
+  let rec map_stmt s =
+    match s with
+    | Assign (name, e) -> [ Assign (name, map_expr e) ]
+    | Output (i, e) -> rewrite_output i (map_expr e)
+    | If (c, then_, else_) ->
+      [ If (map_expr c, map_block then_, map_block else_) ]
+    | Set_timer (t, e) -> [ Set_timer (timer_index t, map_expr e) ]
+    | Cancel_timer t -> [ Cancel_timer (timer_index t) ]
+    | Nop -> [ Nop ]
+  and map_block stmts = List.concat_map map_stmt stmts in
+  { p with body = map_block p.body }
+
+module String_set = Set.Make (String)
+
+(* [free_stmts defined stmts] returns [(free, defined')]: variables read
+   while not yet surely defined, and the set surely defined afterwards.  A
+   variable assigned in only one branch of an [If] is not surely defined. *)
+let free_variables { state; body } =
+  let initially =
+    List.fold_left (fun s (name, _) -> String_set.add name s)
+      String_set.empty state
+  in
+  let rec free_expr defined free e =
+    match e with
+    | Const _ | Input _ | Timer_fired _ -> free
+    | Var name ->
+      if String_set.mem name defined then free else String_set.add name free
+    | Unop (_, e1) -> free_expr defined free e1
+    | Binop (_, e1, e2) -> free_expr defined (free_expr defined free e1) e2
+    | If_expr (c, t, e') ->
+      free_expr defined (free_expr defined (free_expr defined free c) t) e'
+  in
+  let rec free_stmts defined free stmts =
+    match stmts with
+    | [] -> (free, defined)
+    | s :: rest ->
+      let free, defined =
+        match s with
+        | Assign (name, e) ->
+          (free_expr defined free e, String_set.add name defined)
+        | Output (_, e) | Set_timer (_, e) ->
+          (free_expr defined free e, defined)
+        | If (c, then_, else_) ->
+          let free = free_expr defined free c in
+          let free, defined_then = free_stmts defined free then_ in
+          let free, defined_else = free_stmts defined free else_ in
+          (free, String_set.inter defined_then defined_else)
+        | Cancel_timer _ | Nop -> (free, defined)
+      in
+      free_stmts defined free rest
+  in
+  let free, _ = free_stmts initially String_set.empty body in
+  String_set.elements free
+
+let assigned_variables { state; body } =
+  let on_stmt acc = function
+    | Assign (name, _) -> String_set.add name acc
+    | Output _ | If _ | Set_timer _ | Cancel_timer _ | Nop -> acc
+  in
+  let from_state =
+    List.fold_left (fun s (name, _) -> String_set.add name s)
+      String_set.empty state
+  in
+  let all =
+    List.fold_left (fold_stmt on_stmt (fun acc _ -> acc)) from_state body
+  in
+  String_set.elements all

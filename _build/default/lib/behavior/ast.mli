@@ -1,0 +1,111 @@
+(** Abstract syntax of the block-behaviour language.
+
+    The paper describes block behaviours written in a small Java-like
+    imperative language that the simulator turns into syntax trees; the code
+    generator later merges the trees of all blocks in a partition.  This
+    module defines those trees.
+
+    A {!program} is executed once per {e activation} of a block (arrival of
+    an input packet, or expiry of the block's timer).  Variables persist
+    across activations; the [state] field lists the variables that must
+    exist before the first activation, with their initial values.  Outputs
+    are latched: an output port keeps its previous value unless the body
+    assigns it during the activation. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+
+type unop =
+  | Not  (** boolean negation *)
+  | Neg  (** integer negation *)
+
+type binop =
+  | And | Or | Xor
+  | Add | Sub | Mul
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Const of value
+  | Var of string
+  | Input of int
+      (** value currently present on the given input port (0-based) *)
+  | Timer_fired of int
+      (** [Bool true] iff this activation was caused by expiry of the
+          block's one-shot timer with the given index.  Pre-defined blocks
+          use timer 0; merged programmable-block programs use one timer
+          index per timed member block. *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | If_expr of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Output of int * expr  (** drive an output port (0-based) *)
+  | If of expr * stmt list * stmt list
+  | Set_timer of int * expr
+      (** arm the one-shot timer with the given index, [Int] ticks *)
+  | Cancel_timer of int
+  | Nop
+
+type program = {
+  state : (string * value) list;
+      (** persistent variables and their initial values *)
+  body : stmt list;
+}
+
+val empty : program
+(** A program with no state and an empty body. *)
+
+val bool_ : bool -> expr
+val int_ : int -> expr
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val not_ : expr -> expr
+val input : int -> expr
+val var : string -> expr
+
+val equal_value : value -> value -> bool
+val compare_value : value -> value -> int
+
+val pp_value : Format.formatter -> value -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val value_to_string : value -> string
+val expr_to_string : expr -> string
+val program_to_string : program -> string
+
+val max_input_index : program -> int
+(** Largest input-port index read anywhere in the program, or [-1] if the
+    program reads no input. *)
+
+val max_output_index : program -> int
+(** Largest output-port index written anywhere in the program, or [-1]. *)
+
+val max_timer_index : program -> int
+(** Largest timer index armed, cancelled, or tested anywhere in the
+    program, or [-1] if the program uses no timer. *)
+
+val uses_timer : program -> bool
+(** True if the program arms, cancels, or tests any timer. *)
+
+val map_ports :
+  ?expr_of_input:(int -> expr) ->
+  ?rewrite_output:(int -> expr -> stmt list) ->
+  ?timer_index:(int -> int) ->
+  program ->
+  program
+(** Structural rewriting used when merging block trees: replaces [Input i]
+    reads, [Output (i, e)] writes, and timer indices.  Defaults leave the
+    corresponding construct unchanged. *)
+
+val free_variables : program -> string list
+(** Variables read before being assigned in some execution path, excluding
+    declared state variables.  A well-formed block program has none; the
+    list is sorted and duplicate-free. *)
+
+val assigned_variables : program -> string list
+(** All variables assigned anywhere in the body, plus declared state
+    variables.  Sorted and duplicate-free. *)

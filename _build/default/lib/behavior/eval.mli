@@ -1,0 +1,47 @@
+(** Interpreter for behaviour programs.
+
+    This is the simulator-side "interpreter [that] evaluates the tree in the
+    same manner as a non-programmable block" from the paper.  One call to
+    {!activate} corresponds to one activation of a block: the arrival of an
+    input packet or the expiry of the block's one-shot timer. *)
+
+type env
+(** Variable store persisting across activations of one block instance. *)
+
+type timer_action =
+  | Timer_set of int  (** arm the one-shot timer for [n] ticks from now *)
+  | Timer_cancelled
+
+type activation = {
+  inputs : Ast.value array;  (** latched values on the input ports *)
+  fired : int option;
+      (** [Some t] when the activation was caused by expiry of timer [t] *)
+}
+
+type outcome = {
+  outputs : Ast.value option array;
+      (** per output port: [Some v] if driven during this activation *)
+  timers : (int * timer_action) list;
+      (** final action recorded for each timer touched, sorted by index *)
+}
+
+exception Runtime_error of string
+(** Raised on unbound variables, type mismatches, out-of-range ports, or a
+    non-positive / non-integer timer delay. *)
+
+val init : Ast.program -> env
+(** Fresh store holding exactly the program's state variables. *)
+
+val activate : Ast.program -> n_outputs:int -> env -> activation -> outcome
+(** Run the program body once.  The store is updated in place with any
+    variable assignments.  Reading an input port beyond
+    [Array.length activation.inputs] raises {!Runtime_error}. *)
+
+val lookup : env -> string -> Ast.value option
+(** Current value of a variable, for inspection in tests and traces. *)
+
+val variables : env -> (string * Ast.value) list
+(** All variables in the store, sorted by name. *)
+
+val eval_expr : env -> activation -> Ast.expr -> Ast.value
+(** Evaluate a single expression against a store; exposed for tests. *)

@@ -1,0 +1,100 @@
+type binding =
+  | Ext of int
+  | Wire of string
+
+type member = {
+  label : string;
+  program : Ast.program;
+  inputs : binding array;
+  output_wires : string array;
+  output_exts : int list array;
+  output_init : Ast.value array;
+}
+
+exception Merge_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Merge_error msg)) fmt
+
+module String_set = Set.Make (String)
+
+(* Each member gets a contiguous range of timer indices, wide enough for
+   the timers its program uses, assigned in member order. *)
+let timer_bases members =
+  let _, bases =
+    List.fold_left
+      (fun (next, acc) m ->
+        let width = Ast.max_timer_index m.program + 1 in
+        (next + width, (m.label, next) :: acc))
+      (0, []) members
+  in
+  List.rev bases
+
+let timer_base members label =
+  List.assoc label (timer_bases members)
+
+let check_members members =
+  let labels = List.map (fun m -> m.label) members in
+  let distinct = String_set.of_list labels in
+  if String_set.cardinal distinct <> List.length labels then
+    error "duplicate member labels";
+  let all_wires =
+    List.concat_map (fun m -> Array.to_list m.output_wires) members
+  in
+  let wire_set = String_set.of_list all_wires in
+  if String_set.cardinal wire_set <> List.length all_wires then
+    error "two member outputs drive the same wire";
+  List.iter
+    (fun m ->
+      let n_out = Array.length m.output_wires in
+      if Array.length m.output_exts <> n_out
+      || Array.length m.output_init <> n_out then
+        error "member %s: inconsistent output array lengths" m.label;
+      if Ast.max_input_index m.program >= Array.length m.inputs then
+        error "member %s: program reads input port %d but only %d bound"
+          m.label (Ast.max_input_index m.program) (Array.length m.inputs);
+      if Ast.max_output_index m.program >= n_out then
+        error "member %s: program writes output port %d but only %d bound"
+          m.label (Ast.max_output_index m.program) n_out;
+      Array.iter
+        (function
+          | Ext _ -> ()
+          | Wire w ->
+            if not (String_set.mem w wire_set) then
+              error "member %s reads undriven wire %s" m.label w)
+        m.inputs)
+    members;
+  wire_set
+
+let merge members =
+  let _wires = check_members members in
+  let bases = timer_bases members in
+  let merge_member m =
+    let renamed = Rename.with_prefix m.label m.program in
+    let base = List.assoc m.label bases in
+    let expr_of_input i : Ast.expr =
+      match m.inputs.(i) with
+      | Ext j -> Input j
+      | Wire w -> Var w
+    in
+    let rewrite_output i (e : Ast.expr) : Ast.stmt list =
+      let wire = m.output_wires.(i) in
+      Ast.Assign (wire, e)
+      :: List.map (fun j -> Ast.Output (j, Ast.Var wire)) m.output_exts.(i)
+    in
+    Ast.map_ports ~expr_of_input ~rewrite_output
+      ~timer_index:(fun t -> base + t)
+      renamed
+  in
+  let merged = List.map merge_member members in
+  let wire_state =
+    List.concat_map
+      (fun m ->
+        Array.to_list
+          (Array.mapi (fun i w -> (w, m.output_init.(i))) m.output_wires))
+      members
+  in
+  let state =
+    wire_state @ List.concat_map (fun p -> p.Ast.state) merged
+  in
+  let body = List.concat_map (fun p -> p.Ast.body) merged in
+  { Ast.state; body }

@@ -1,0 +1,44 @@
+(** Merging the syntax trees of a partition's blocks into the single tree
+    of the replacement programmable block.
+
+    Per the paper (§3.3): members are ordered by non-decreasing level so
+    that no block's tree is evaluated before its in-partition producers;
+    communication between two blocks of a partition becomes a variable;
+    name clashes are resolved by renaming.  We additionally remap each
+    member's timers to a disjoint index range so that several timed blocks
+    can share one programmable block. *)
+
+type binding =
+  | Ext of int       (** external input port of the programmable block *)
+  | Wire of string   (** variable carrying an in-partition signal *)
+
+type member = {
+  label : string;
+      (** unique per member; used as the renaming prefix (e.g. ["b7_"]) *)
+  program : Ast.program;
+  inputs : binding array;
+      (** source of each of the member's input ports *)
+  output_wires : string array;
+      (** wire variable receiving each of the member's output ports *)
+  output_exts : int list array;
+      (** external output ports of the programmable block additionally
+          driven by each member output port *)
+  output_init : Ast.value array;
+      (** initial (power-on) value of each member output port; becomes the
+          wire's initial value *)
+}
+
+exception Merge_error of string
+
+val merge : member list -> Ast.program
+(** Members must already be in non-decreasing level order.  The result's
+    state variables are the renamed member state variables plus one
+    variable per wire.  Raises {!Merge_error} on duplicate labels,
+    duplicate wire names, arity mismatches between [inputs]/[output_wires]
+    and the member program's port usage, or a member reading a wire no
+    member drives. *)
+
+val timer_base : member list -> string -> int
+(** Timer-index offset assigned to the member with the given label; the
+    merged program maps member timer [t] to [timer_base + t].  Raises
+    [Not_found] for an unknown label. *)

@@ -1,0 +1,33 @@
+(** Concrete syntax for the behaviour language.
+
+    The paper's blocks carry behaviours "defined in a Java-like language
+    that is automatically transformed to a syntax tree"; this module is
+    that front end.  The grammar is exactly what {!Ast.pp_program} prints,
+    so programs round-trip:
+
+    {v
+    state prev = false;
+    state q = false;
+    if (in[0] && !prev) {
+      q = !q;
+    }
+    prev = in[0];
+    out[0] = q;
+    v}
+
+    Statements: [x = e;], [out[i] = e;], [if (e) { ... } else { ... }],
+    [set_timer(t, e);], [cancel_timer(t);], [;].  Expressions use C
+    precedence: [?:] then [||], [&&], [== !=], [< <= > >=], [^], [+ -],
+    [*], unary [! -]; primaries are integer and [true]/[false] literals,
+    variables, [in[i]], [timer_fired(t)], and parenthesised expressions.
+    [state] declarations must precede the body.  Comments run from [//] to
+    the end of the line. *)
+
+exception Syntax_error of { line : int; column : int; message : string }
+
+val program : string -> Ast.program
+(** Parse a complete behaviour program.  Raises {!Syntax_error} with
+    1-based position information. *)
+
+val expression : string -> Ast.expr
+(** Parse a single expression (for tests and interactive use). *)

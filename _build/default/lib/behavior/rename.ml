@@ -1,0 +1,37 @@
+let with_prefix prefix (p : Ast.program) =
+  let rename name = prefix ^ name in
+  let rec rename_expr (e : Ast.expr) : Ast.expr =
+    match e with
+    | Const _ | Input _ | Timer_fired _ -> e
+    | Var name -> Var (rename name)
+    | Unop (op, e1) -> Unop (op, rename_expr e1)
+    | Binop (op, e1, e2) -> Binop (op, rename_expr e1, rename_expr e2)
+    | If_expr (c, t, f) ->
+      If_expr (rename_expr c, rename_expr t, rename_expr f)
+  in
+  let rec rename_stmt (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Assign (name, e) -> Assign (rename name, rename_expr e)
+    | Output (i, e) -> Output (i, rename_expr e)
+    | If (c, then_, else_) ->
+      If (rename_expr c, List.map rename_stmt then_, List.map rename_stmt else_)
+    | Set_timer (t, e) -> Set_timer (t, rename_expr e)
+    | Cancel_timer _ | Nop -> s
+  in
+  {
+    Ast.state = List.map (fun (name, v) -> (rename name, v)) p.Ast.state;
+    body = List.map rename_stmt p.Ast.body;
+  }
+
+module String_set = Set.Make (String)
+
+let variables_disjoint programs =
+  let rec check seen = function
+    | [] -> true
+    | p :: rest ->
+      let vars = String_set.of_list (Ast.assigned_variables p) in
+      if String_set.is_empty (String_set.inter seen vars)
+      then check (String_set.union seen vars) rest
+      else false
+  in
+  check String_set.empty programs

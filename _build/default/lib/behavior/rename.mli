@@ -1,0 +1,15 @@
+(** Variable renaming.
+
+    The paper resolves clashes between the variables of blocks merged into
+    one programmable block "through variable renaming"; we do so by giving
+    every merged member a unique prefix. *)
+
+val with_prefix : string -> Ast.program -> Ast.program
+(** Prefix every state variable, assigned variable, and variable reference
+    with the given string.  Free variables (which a well-formed block
+    program does not have) are prefixed too, keeping the program's
+    behaviour stable under composition. *)
+
+val variables_disjoint : Ast.program list -> bool
+(** True when no two programs share a variable name; renaming with distinct
+    prefixes guarantees this. *)

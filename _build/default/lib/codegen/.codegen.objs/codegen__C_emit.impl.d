@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Behavior Buffer Fun List Printf String

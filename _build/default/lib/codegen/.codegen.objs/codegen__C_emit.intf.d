@@ -1,0 +1,1 @@
+lib/codegen/c_emit.mli: Behavior

@@ -1,0 +1,1 @@
+lib/codegen/plan.ml: Array Behavior Eblock Format Int List Netlist Printf

@@ -1,0 +1,1 @@
+lib/codegen/replace.ml: Array Core Format List Netlist Plan Printf

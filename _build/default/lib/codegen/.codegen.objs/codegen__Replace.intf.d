@@ -1,0 +1,1 @@
+lib/codegen/replace.mli: Core Netlist

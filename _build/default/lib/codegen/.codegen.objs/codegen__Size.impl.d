@@ -1,0 +1,1 @@
+lib/codegen/size.ml: Behavior List

@@ -1,0 +1,1 @@
+lib/codegen/verify.ml: Array Behavior Core Eblock Format Hashtbl List Netlist Plan String

@@ -1,0 +1,1 @@
+lib/codegen/verify.mli: Behavior Core Format Netlist

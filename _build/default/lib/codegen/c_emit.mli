@@ -1,0 +1,29 @@
+(** C code emission for a programmable eBlock.
+
+    Targets the PIC16F628-class runtime of the physical prototype (§3.3):
+    the block firmware calls [eblock_step()] whenever an input packet
+    arrives or a software timer expires.  Port and timer access go through
+    macros ([EB_IN], [EB_OUT], [EB_SET_TIMER], ...) supplied by the board
+    support header, so the emitted file is self-contained and compiles
+    with a stub header on a development host too. *)
+
+val expr : Behavior.Ast.expr -> string
+(** C rendering of one expression (exposed for tests). *)
+
+val program :
+  ?block_name:string ->
+  n_inputs:int ->
+  n_outputs:int ->
+  Behavior.Ast.program ->
+  string
+(** A complete translation unit: state variable definitions with
+    initialisers, the [eblock_step] function, and a fallback definition of
+    the port/timer macros guarded by [#ifndef]. *)
+
+val write_file :
+  string ->
+  ?block_name:string ->
+  n_inputs:int ->
+  n_outputs:int ->
+  Behavior.Ast.program ->
+  unit

@@ -1,0 +1,119 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+module Cut = Netlist.Cut
+
+type t = {
+  members : Node_id.t list;
+  program : Behavior.Ast.program;
+  input_pins : Graph.endpoint array;
+  output_pins : (Graph.endpoint * Graph.endpoint) array;
+  output_init : Behavior.Ast.value array;
+}
+
+exception Plan_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Plan_error msg)) fmt
+
+let level_order g set =
+  let levels = Graph.levels g in
+  let level id =
+    match Node_id.Map.find_opt id levels with Some l -> l | None -> 0
+  in
+  Node_id.Set.elements set
+  |> List.sort (fun a b ->
+         match Int.compare (level a) (level b) with
+         | 0 -> Node_id.compare a b
+         | c -> c)
+
+let wire_name id port = Printf.sprintf "w%d_%d" id port
+
+let index_of_endpoint what endpoints (ep : Graph.endpoint) =
+  let rec find i = function
+    | [] -> error "endpoint %d.%d not found among %s" ep.Graph.node
+              ep.Graph.port what
+    | ep' :: rest -> if ep' = ep then i else find (i + 1) rest
+  in
+  find 0 endpoints
+
+let build g set =
+  if Node_id.Set.is_empty set then error "empty partition";
+  Node_id.Set.iter
+    (fun id ->
+      if not (Graph.mem g id) then error "node %d is not in the network" id;
+      if not (Eblock.Kind.partitionable (Graph.kind g id)) then
+        error "node %d is not a partitionable compute block" id)
+    set;
+  let members = level_order g set in
+  let in_edges = Cut.in_edges g set in
+  let out_edges = Cut.out_edges g set in
+  let in_edge_dsts = List.map (fun e -> e.Graph.dst) in_edges in
+  let out_edges_indexed = List.mapi (fun j e -> (j, e)) out_edges in
+  let member_of_id id =
+    let d = Graph.descriptor g id in
+    let open Eblock.Descriptor in
+    let inputs =
+      Array.init d.n_inputs (fun port ->
+          match Graph.driver g id port with
+          | None ->
+            error "input port %d.%d is undriven; cannot merge" id port
+          | Some src ->
+            if Node_id.Set.mem src.Graph.node set then
+              Behavior.Merge.Wire (wire_name src.Graph.node src.Graph.port)
+            else
+              (* one external pin per crossing connection: the pin for
+                 this port is the in-edge ending at (id, port) *)
+              Behavior.Merge.Ext
+                (index_of_endpoint "the partition's input edges" in_edge_dsts
+                   { Graph.node = id; port }))
+    in
+    let output_wires =
+      Array.init d.n_outputs (fun port -> wire_name id port)
+    in
+    let output_exts =
+      Array.init d.n_outputs (fun port ->
+          List.filter_map
+            (fun (j, e) ->
+              if e.Graph.src = { Graph.node = id; port } then Some j
+              else None)
+            out_edges_indexed)
+    in
+    let output_init = Array.copy d.output_init in
+    {
+      Behavior.Merge.label = Printf.sprintf "b%d_" id;
+      program = d.behavior;
+      inputs;
+      output_wires;
+      output_exts;
+      output_init;
+    }
+  in
+  let merge_members = List.map member_of_id members in
+  let program = Behavior.Merge.merge merge_members in
+  let output_init =
+    Array.of_list
+      (List.map
+         (fun e ->
+           let src = e.Graph.src in
+           let d = Graph.descriptor g src.Graph.node in
+           d.Eblock.Descriptor.output_init.(src.Graph.port))
+         out_edges)
+  in
+  {
+    members;
+    program;
+    input_pins = Array.of_list (List.map (fun e -> e.Graph.src) in_edges);
+    output_pins =
+      Array.of_list (List.map (fun e -> (e.Graph.src, e.Graph.dst)) out_edges);
+    output_init;
+  }
+
+let descriptor ?label t =
+  let n_inputs = Array.length t.input_pins in
+  let n_outputs = Array.length t.output_pins in
+  let name =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "prog%dx%d" n_inputs n_outputs
+  in
+  Eblock.Catalog.programmable ~n_inputs ~n_outputs ~name
+    ~output_init:t.output_init t.program

@@ -1,0 +1,38 @@
+(** Code-generation plan for one partition (§3.3).
+
+    Builds everything needed to replace a partition with a programmable
+    block: the level-ordered member list, the pin assignment (one pin per
+    crossing connection, matching the partitioning model), and the merged
+    behaviour tree. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type t = {
+  members : Node_id.t list;
+      (** partition members in non-decreasing level order (ties by id) —
+          the paper's guarantee that "the tool does not evaluate a block's
+          tree before any of its input blocks have produced output" *)
+  program : Behavior.Ast.program;
+      (** the merged syntax tree *)
+  input_pins : Graph.endpoint array;
+      (** pin [j] of the programmable block is driven by this external
+          source endpoint *)
+  output_pins : (Graph.endpoint * Graph.endpoint) array;
+      (** pin [j] carries the value of the internal source endpoint (fst)
+          to the external destination endpoint (snd) *)
+  output_init : Behavior.Ast.value array;
+      (** power-on value of each output pin (the member's power-on value) *)
+}
+
+exception Plan_error of string
+
+val build : Graph.t -> Node_id.Set.t -> t
+(** Raises {!Plan_error} when the set is empty, a member is missing or not
+    partitionable, or an in-partition input port is undriven. *)
+
+val level_order : Graph.t -> Node_id.Set.t -> Node_id.t list
+(** Members sorted by (level, id); exposed for tests. *)
+
+val descriptor : ?label:string -> t -> Eblock.Descriptor.t
+(** The programmable-block descriptor hosting the merged program. *)

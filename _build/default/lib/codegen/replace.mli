@@ -1,0 +1,27 @@
+(** Synthesis rewriting: substitute each partition of a solution with one
+    programmable block carrying the merged behaviour.
+
+    Sensors, primary outputs, communication blocks, and uncovered compute
+    blocks keep their node ids, so the rewritten network remains directly
+    comparable to the original (see {!Sim.Equiv}). *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type t = {
+  network : Graph.t;
+  programmable_ids : Node_id.t list;
+      (** the new node introduced for each partition, in solution order *)
+}
+
+exception Replace_error of string
+
+val apply : Graph.t -> Core.Solution.t -> t
+(** Partitions are rewritten in solution order; later partitions may
+    legitimately connect to earlier partitions' programmable blocks.
+    Raises {!Replace_error} if a partition overlaps a previous one or a
+    plan cannot be built. *)
+
+val synthesize :
+  ?config:Core.Paredown.config -> Graph.t -> t * Core.Paredown.result
+(** Convenience: run PareDown, then {!apply} its solution. *)

@@ -1,0 +1,33 @@
+open Behavior.Ast
+
+(* Pessimistic per-construct word costs for an 8-bit accumulator machine:
+   every expression node needs a load/op, every statement some glue. *)
+let expr_words_cost = 3
+let stmt_words_cost = 4
+let state_var_cost = 2
+let runtime_overhead = 64  (* packet handling, timer bookkeeping *)
+
+let rec expr_words = function
+  | Const _ | Var _ | Input _ | Timer_fired _ -> expr_words_cost
+  | Unop (_, e) -> expr_words_cost + expr_words e
+  | Binop (_, e1, e2) -> expr_words_cost + expr_words e1 + expr_words e2
+  | If_expr (c, t, f) ->
+    (2 * expr_words_cost) + expr_words c + expr_words t + expr_words f
+
+let rec stmt_words = function
+  | Assign (_, e) | Output (_, e) | Set_timer (_, e) ->
+    stmt_words_cost + expr_words e
+  | If (c, then_, else_) ->
+    stmt_words_cost + expr_words c
+    + List.fold_left (fun acc s -> acc + stmt_words s) 0 then_
+    + List.fold_left (fun acc s -> acc + stmt_words s) 0 else_
+  | Cancel_timer _ | Nop -> stmt_words_cost
+
+let estimate_words p =
+  runtime_overhead
+  + (state_var_cost * List.length p.state)
+  + List.fold_left (fun acc s -> acc + stmt_words s) 0 p.body
+
+let pic16f628_words = 2048
+
+let fits_pic16f628 p = estimate_words p <= pic16f628_words

@@ -1,0 +1,18 @@
+(** Program-memory estimation.
+
+    The paper argues (§3.3) that with 2 KB of program words, "the small
+    size of each program describing a pre-defined block's function, and
+    the scale of real eBlock systems", the program-size constraint is
+    never binding — partitioning is input/output limited, not size
+    limited.  This module lets us check that claim on every merged
+    program instead of assuming it. *)
+
+val estimate_words : Behavior.Ast.program -> int
+(** A deliberately pessimistic instruction-word estimate for a PIC-class
+    8-bit target: a handful of words per AST node, plus per-state-variable
+    initialisation. *)
+
+val pic16f628_words : int
+(** 2048: the program memory of the prototype's PIC16F628. *)
+
+val fits_pic16f628 : Behavior.Ast.program -> bool

@@ -1,0 +1,149 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type verdict =
+  | Equivalent
+  | Not_combinational of Node_id.t
+  | Counterexample of {
+      inputs : bool array;
+      pin : int;
+      merged : Behavior.Ast.value;
+      composed : Behavior.Ast.value;
+    }
+
+let pp_verdict ppf = function
+  | Equivalent -> Format.pp_print_string ppf "equivalent (proven)"
+  | Not_combinational id ->
+    Format.fprintf ppf "member %d is sequential; not provable by enumeration"
+      id
+  | Counterexample { inputs; pin; merged; composed } ->
+    Format.fprintf ppf
+      "inputs [%s]: merged drives pin %d to %a but the network computes %a"
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_bool inputs)))
+      pin Behavior.Ast.pp_value merged Behavior.Ast.pp_value composed
+
+let is_combinational (d : Eblock.Descriptor.t) =
+  d.behavior.Behavior.Ast.state = []
+  && not (Behavior.Ast.uses_timer d.behavior)
+
+(* Evaluate the members directly over the subgraph for one assignment of
+   the external input pins; returns the value on each internal port. *)
+let compose_members g (plan : Plan.t) assignment =
+  let port_values = Hashtbl.create 16 in
+  let members = Node_id.Set.of_list plan.Plan.members in
+  (* pin j of the plan corresponds to the j-th in-edge (same ordering as
+     Plan.build); record the assigned value against the member input port
+     that edge drives *)
+  let in_edges = Netlist.Cut.in_edges g members in
+  let external_value = Hashtbl.create 8 in
+  List.iteri
+    (fun pin e -> Hashtbl.replace external_value e.Graph.dst assignment.(pin))
+    in_edges;
+  List.iter
+    (fun id ->
+      let d = Graph.descriptor g id in
+      let inputs =
+        Array.init d.Eblock.Descriptor.n_inputs (fun port ->
+            let dst = { Graph.node = id; port } in
+            match Hashtbl.find_opt external_value dst with
+            | Some b -> Behavior.Ast.Bool b
+            | None ->
+              (match Graph.driver g id port with
+               | Some src ->
+                 (match Hashtbl.find_opt port_values src with
+                  | Some v -> v
+                  | None -> Behavior.Ast.Bool false)
+               | None -> Behavior.Ast.Bool false))
+      in
+      let outcome =
+        Behavior.Eval.activate d.Eblock.Descriptor.behavior
+          ~n_outputs:d.Eblock.Descriptor.n_outputs
+          (Behavior.Eval.init d.Eblock.Descriptor.behavior)
+          { Behavior.Eval.inputs; fired = None }
+      in
+      Array.iteri
+        (fun port slot ->
+          let v =
+            match slot with
+            | Some v -> v
+            | None -> d.Eblock.Descriptor.output_init.(port)
+          in
+          Hashtbl.replace port_values { Graph.node = id; port } v)
+        outcome.Behavior.Eval.outputs)
+    plan.Plan.members;
+  port_values
+
+let run_merged (plan : Plan.t) assignment =
+  let inputs =
+    Array.map (fun b -> Behavior.Ast.Bool b) assignment
+  in
+  let outcome =
+    Behavior.Eval.activate plan.Plan.program
+      ~n_outputs:(Array.length plan.Plan.output_pins)
+      (Behavior.Eval.init plan.Plan.program)
+      { Behavior.Eval.inputs; fired = None }
+  in
+  outcome.Behavior.Eval.outputs
+
+let check_partition g members =
+  let plan = Plan.build g members in
+  match
+    List.find_opt
+      (fun id -> not (is_combinational (Graph.descriptor g id)))
+      plan.Plan.members
+  with
+  | Some id -> Not_combinational id
+  | None ->
+    let n_inputs = Array.length plan.Plan.input_pins in
+    let rec try_assignment index =
+      if index >= 1 lsl n_inputs then Equivalent
+      else begin
+        let assignment =
+          Array.init n_inputs (fun bit -> (index lsr bit) land 1 = 1)
+        in
+        let composed = compose_members g plan assignment in
+        let merged = run_merged plan assignment in
+        let rec compare_pin pin =
+          if pin >= Array.length plan.Plan.output_pins then
+            try_assignment (index + 1)
+          else begin
+            let internal_src, _ = plan.Plan.output_pins.(pin) in
+            let composed_value =
+              match Hashtbl.find_opt composed internal_src with
+              | Some v -> v
+              | None -> Behavior.Ast.Bool false
+            in
+            let merged_value =
+              match merged.(pin) with
+              | Some v -> v
+              | None -> plan.Plan.output_init.(pin)
+            in
+            if Behavior.Ast.equal_value merged_value composed_value then
+              compare_pin (pin + 1)
+            else
+              Counterexample
+                {
+                  inputs = assignment;
+                  pin;
+                  merged = merged_value;
+                  composed = composed_value;
+                }
+          end
+        in
+        compare_pin 0
+      end
+    in
+    try_assignment 0
+
+let check_solution g solution =
+  let rec walk proven = function
+    | [] -> Ok proven
+    | p :: rest ->
+      let members = p.Core.Partition.members in
+      (match check_partition g members with
+       | Equivalent -> walk (proven + 1) rest
+       | Not_combinational _ -> walk proven rest
+       | Counterexample _ as verdict -> Error (members, verdict))
+  in
+  walk 0 solution.Core.Solution.partitions

@@ -1,0 +1,37 @@
+(** Exact equivalence checking of a merged program against its partition.
+
+    Co-simulation ({!Sim.Equiv}) samples random stimuli; for partitions
+    whose members are all {e combinational} (stateless, timer-free) we can
+    do better: enumerate every boolean assignment of the programmable
+    block's input pins and compare the merged program's outputs against
+    the composition of the member behaviours evaluated directly on the
+    subgraph.  This is a complete proof for such partitions (the pin
+    count is bounded by the block shape, so the enumeration is tiny). *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type verdict =
+  | Equivalent
+      (** all input assignments agree *)
+  | Not_combinational of Node_id.t
+      (** this member has state or timers; use co-simulation instead *)
+  | Counterexample of {
+      inputs : bool array;
+      pin : int;
+      merged : Behavior.Ast.value;
+      composed : Behavior.Ast.value;
+    }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_partition : Graph.t -> Node_id.Set.t -> verdict
+(** Build the plan for the partition and compare it against direct member
+    composition over all 2^inputs assignments.  Raises [Plan.Plan_error]
+    on malformed partitions. *)
+
+val check_solution :
+  Graph.t -> Core.Solution.t -> (int, Node_id.Set.t * verdict) result
+(** Check every all-combinational partition of a solution; skips
+    sequential ones.  [Ok n] reports how many partitions were proven;
+    [Error] carries the first failing partition. *)

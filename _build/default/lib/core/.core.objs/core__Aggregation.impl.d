@@ -1,0 +1,1 @@
+lib/core/aggregation.ml: List Netlist Partition Shape Solution

@@ -1,0 +1,1 @@
+lib/core/annealing.ml: List Netlist Partition Prng Shape Solution

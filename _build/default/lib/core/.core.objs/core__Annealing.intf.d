@@ -1,0 +1,1 @@
+lib/core/annealing.mli: Netlist Partition Shape Solution

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Eblock Float List Netlist Partition Shape Solution Sys

@@ -1,0 +1,1 @@
+lib/core/paredown.ml: Format List Netlist Option Partition Shape Solution

@@ -1,0 +1,1 @@
+lib/core/paredown.mli: Format Netlist Partition Shape Solution

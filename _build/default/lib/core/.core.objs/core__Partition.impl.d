@@ -1,0 +1,1 @@
+lib/core/partition.ml: Eblock Format Netlist Shape

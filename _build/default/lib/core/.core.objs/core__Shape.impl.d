@@ -1,0 +1,1 @@
+lib/core/shape.ml: Eblock Float Format Int List Printf

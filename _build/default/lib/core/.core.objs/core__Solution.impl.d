@@ -1,0 +1,1 @@
+lib/core/solution.ml: Eblock Float Format Int List Netlist Partition Shape

@@ -1,0 +1,25 @@
+(** The aggregation heuristic — the paper's first, abandoned attempt
+    (§4.2): "clusters nodes into subgraphs through aggregation.  From a
+    list of inner nodes connected to a primary input, the aggregation
+    method repeatedly selects a node that fits within a programmable block
+    as a partition."
+
+    We grow one cluster at a time, starting from the earliest unclustered
+    eligible block (in topological order, i.e. nearest the sensors), and
+    greedily absorb adjacent eligible blocks as long as the cluster keeps
+    fitting a programmable block.  Because it never removes a block once
+    added, the method "is not capable of taking advantage of convergence"
+    and is kept as the baseline PareDown is compared against. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type config = {
+  shapes : Shape.t list;
+  partition_config : Partition.config;
+}
+
+val default_config : config
+
+val run : ?config:config -> Graph.t -> Solution.t
+(** The result always passes {!Solution.check}. *)

@@ -1,0 +1,195 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type config = {
+  shapes : Shape.t list;
+  partition_config : Partition.config;
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+}
+
+let default_config = {
+  shapes = [ Shape.default ];
+  partition_config = Partition.default_config;
+  iterations = 20_000;
+  initial_temperature = 2.0;
+  cooling = 0.9995;
+  seed = 1;
+}
+
+type result = {
+  solution : Solution.t;
+  moves_accepted : int;
+  moves_proposed : int;
+}
+
+(* Re-host a member set on the cheapest fitting shape, if any; full
+   validity is then checked with Partition.check. *)
+let partition_of ~config g members =
+  let inputs_used =
+    Partition.inputs_used ~config:config.partition_config g members
+  in
+  let outputs_used =
+    Partition.outputs_used ~config:config.partition_config g members
+  in
+  match Shape.cheapest_fitting config.shapes ~inputs_used ~outputs_used with
+  | None -> None
+  | Some shape ->
+    let p = Partition.make ~members ~shape in
+    if Partition.is_valid ~config:config.partition_config g p then Some p
+    else None
+
+(* energy: the paper's objective, with cost as a continuous tie-break so
+   downhill moves are visible to the annealer *)
+let energy g solution =
+  float_of_int (Solution.total_inner_after g solution)
+  +. (0.001 *. Solution.total_cost_after g solution)
+
+type move =
+  | Grow       (* add an uncovered neighbour to a partition *)
+  | Shrink     (* drop a member from a partition *)
+  | Seed_pair  (* form a new partition from two uncovered blocks *)
+  | Dissolve   (* return a whole partition to pre-defined blocks *)
+  | Merge      (* fuse two partitions *)
+
+let pick_move rng =
+  match Prng.int rng 10 with
+  | 0 | 1 | 2 -> Grow
+  | 3 -> Shrink
+  | 4 | 5 | 6 -> Seed_pair
+  | 7 -> Dissolve
+  | _ -> Merge
+
+(* uncovered eligible blocks, as a list *)
+let uncovered_of g partitions =
+  let covered =
+    List.fold_left
+      (fun acc p -> Node_id.Set.union acc p.Partition.members)
+      Node_id.Set.empty partitions
+  in
+  List.filter
+    (fun id -> not (Node_id.Set.mem id covered))
+    (Graph.partitionable_nodes g)
+
+let neighbours g members =
+  Node_id.Set.fold
+    (fun id acc -> Graph.preds g id @ Graph.succs g id @ acc)
+    members []
+  |> List.sort_uniq Node_id.compare
+  |> List.filter (fun id -> not (Node_id.Set.mem id members))
+
+let replace_nth list index replacement =
+  List.mapi (fun i x -> if i = index then replacement else x) list
+
+let remove_nth list index = List.filteri (fun i _ -> i <> index) list
+
+(* Propose a new partition list, or None if the move has no valid
+   instantiation at this state. *)
+let propose ~config g rng partitions =
+  let uncovered = uncovered_of g partitions in
+  let n = List.length partitions in
+  match pick_move rng with
+  | Grow when n > 0 ->
+    let index = Prng.int rng n in
+    let p = List.nth partitions index in
+    let candidates =
+      List.filter (fun id -> List.mem id uncovered)
+        (neighbours g p.Partition.members)
+    in
+    if candidates = [] then None
+    else begin
+      let extra = Prng.pick rng candidates in
+      match
+        partition_of ~config g (Node_id.Set.add extra p.Partition.members)
+      with
+      | Some p' -> Some (replace_nth partitions index p')
+      | None -> None
+    end
+  | Shrink when n > 0 ->
+    let index = Prng.int rng n in
+    let p = List.nth partitions index in
+    let victim = Prng.pick rng (Node_id.Set.elements p.Partition.members) in
+    let remaining = Node_id.Set.remove victim p.Partition.members in
+    if Node_id.Set.cardinal remaining < 2 then
+      Some (remove_nth partitions index)
+    else
+      (match partition_of ~config g remaining with
+       | Some p' -> Some (replace_nth partitions index p')
+       | None -> None)
+  | Seed_pair ->
+    if uncovered = [] then None
+    else begin
+      let a = Prng.pick rng uncovered in
+      let partners =
+        List.filter (fun id -> List.mem id uncovered) (Graph.preds g a @ Graph.succs g a)
+      in
+      if partners = [] then None
+      else begin
+        let b = Prng.pick rng partners in
+        match partition_of ~config g (Node_id.set_of_list [ a; b ]) with
+        | Some p -> Some (p :: partitions)
+        | None -> None
+      end
+    end
+  | Dissolve when n > 0 -> Some (remove_nth partitions (Prng.int rng n))
+  | Merge when n > 1 ->
+    let i = Prng.int rng n in
+    let j = Prng.int rng n in
+    if i = j then None
+    else begin
+      let a = List.nth partitions i and b = List.nth partitions j in
+      match
+        partition_of ~config g
+          (Node_id.Set.union a.Partition.members b.Partition.members)
+      with
+      | Some fused ->
+        let without =
+          List.filteri (fun k _ -> k <> i && k <> j) partitions
+        in
+        Some (fused :: without)
+      | None -> None
+    end
+  | Grow | Shrink | Dissolve | Merge -> None
+
+let run ?(config = default_config) ?(start = Solution.empty) g =
+  let rng = Prng.create config.seed in
+  let proposed = ref 0 and accepted = ref 0 in
+  let rec anneal temperature current current_energy best best_energy
+      remaining =
+    if remaining = 0 then best
+    else begin
+      incr proposed;
+      let next_state =
+        propose ~config g rng current.Solution.partitions
+      in
+      let current, current_energy, best, best_energy =
+        match next_state with
+        | None -> (current, current_energy, best, best_energy)
+        | Some partitions ->
+          let candidate = { Solution.partitions } in
+          let candidate_energy = energy g candidate in
+          let accept =
+            candidate_energy <= current_energy
+            || Prng.float rng 1.0
+               < exp ((current_energy -. candidate_energy) /. temperature)
+          in
+          if accept then begin
+            incr accepted;
+            if candidate_energy < best_energy then
+              (candidate, candidate_energy, candidate, candidate_energy)
+            else (candidate, candidate_energy, best, best_energy)
+          end
+          else (current, current_energy, best, best_energy)
+      in
+      anneal (temperature *. config.cooling) current current_energy best
+        best_energy (remaining - 1)
+    end
+  in
+  let start_energy = energy g start in
+  let best =
+    anneal config.initial_temperature start start_energy start start_energy
+      config.iterations
+  in
+  { solution = best; moves_accepted = !accepted; moves_proposed = !proposed }

@@ -1,0 +1,161 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type objective =
+  | Fewest_blocks
+  | Lowest_cost
+
+type config = {
+  shapes : Shape.t list;
+  partition_config : Partition.config;
+  bound_pruning : bool;
+  objective : objective;
+}
+
+let default_config = {
+  shapes = [ Shape.default ];
+  partition_config = Partition.default_config;
+  bound_pruning = true;
+  objective = Fewest_blocks;
+}
+
+type outcome =
+  | Optimal
+  | Timed_out
+
+type result = {
+  solution : Solution.t;
+  outcome : outcome;
+  nodes_explored : int;
+  leaves_checked : int;
+}
+
+exception Deadline
+
+(* A complete assignment is valid iff every bin forms a valid partition;
+   bins get the cheapest shape that fits. *)
+let solution_of_bins ~config g bins =
+  let make_partition members =
+    let inputs_used =
+      Partition.inputs_used ~config:config.partition_config g members
+    in
+    let outputs_used =
+      Partition.outputs_used ~config:config.partition_config g members
+    in
+    match Shape.cheapest_fitting config.shapes ~inputs_used ~outputs_used with
+    | None -> None
+    | Some shape ->
+      let p = Partition.make ~members ~shape in
+      if Partition.is_valid ~config:config.partition_config g p
+      then Some p
+      else None
+  in
+  let rec build acc = function
+    | [] -> Some { Solution.partitions = List.rev acc }
+    | members :: rest ->
+      (match make_partition members with
+       | Some p -> build (p :: acc) rest
+       | None -> None)
+  in
+  build [] bins
+
+let run ?(config = default_config) ?deadline_s g =
+  let blocks = Array.of_list (Graph.partitionable_nodes g) in
+  let n = Array.length blocks in
+  (* Inner blocks that can never be covered (e.g. communication blocks)
+     appear in every solution's total (and cost). *)
+  let fixed_inner = Graph.inner_count g - n in
+  let fixed_cost =
+    List.fold_left
+      (fun acc id ->
+        if Eblock.Kind.partitionable (Graph.kind g id) then acc
+        else acc +. (Graph.descriptor g id).Eblock.Descriptor.cost)
+      0. (Graph.inner_nodes g)
+  in
+  let block_cost id = (Graph.descriptor g id).Eblock.Descriptor.cost in
+  let min_shape_cost =
+    List.fold_left
+      (fun acc s -> Float.min acc s.Shape.cost)
+      infinity config.shapes
+  in
+  let compare_solutions =
+    match config.objective with
+    | Fewest_blocks -> Solution.compare_quality g
+    | Lowest_cost -> Solution.compare_cost g
+  in
+  let start = Sys.time () in
+  let nodes_explored = ref 0 in
+  let leaves_checked = ref 0 in
+  let best = ref Solution.empty in
+  let best_total = ref (Solution.total_inner_after g Solution.empty) in
+  let best_cost = ref (Solution.total_cost_after g Solution.empty) in
+  let timed_out = ref false in
+  (* bins.(b) is the member set of bin b, for b < bins_open *)
+  let bins = Array.make (max 1 (n / 2)) Node_id.Set.empty in
+  let max_bins = Array.length bins in
+  let check_deadline () =
+    match deadline_s with
+    | Some budget when !nodes_explored land 1023 = 0 ->
+      if Sys.time () -. start > budget then raise Deadline
+    | Some _ | None -> ()
+  in
+  let consider_leaf bins_open unassigned =
+    incr leaves_checked;
+    let bin_sets = Array.to_list (Array.sub bins 0 bins_open) in
+    match solution_of_bins ~config g bin_sets with
+    | None -> ()
+    | Some sol ->
+      ignore unassigned;
+      if compare_solutions sol !best < 0 then begin
+        best := sol;
+        best_total := Solution.total_inner_after g sol;
+        best_cost := Solution.total_cost_after g sol
+      end
+  in
+  (* [unassigned_cost] tracks the summed catalogue cost of blocks left
+     pre-defined so far; a branch's final cost is at least
+     fixed + unassigned-so-far + one cheapest shape per open bin. *)
+  let prunable bins_open unassigned unassigned_cost =
+    config.bound_pruning
+    &&
+    match config.objective with
+    | Fewest_blocks -> fixed_inner + unassigned + bins_open > !best_total
+    | Lowest_cost ->
+      fixed_cost +. unassigned_cost
+      +. (float_of_int bins_open *. min_shape_cost)
+      > !best_cost +. 1e-9
+  in
+  let rec assign i bins_open unassigned unassigned_cost =
+    incr nodes_explored;
+    check_deadline ();
+    if prunable bins_open unassigned unassigned_cost then ()
+    else if i = n then consider_leaf bins_open unassigned
+    else begin
+      let block = blocks.(i) in
+      (* Choice 1: leave the block pre-defined. *)
+      assign (i + 1) bins_open (unassigned + 1)
+        (unassigned_cost +. block_cost block);
+      (* Choice 2: join an open bin. *)
+      for b = 0 to bins_open - 1 do
+        bins.(b) <- Node_id.Set.add block bins.(b);
+        assign (i + 1) bins_open unassigned unassigned_cost;
+        bins.(b) <- Node_id.Set.remove block bins.(b)
+      done;
+      (* Choice 3: open the next bin (empty bins are interchangeable, so
+         only the first empty one is tried — the paper's pruning). *)
+      if bins_open < max_bins then begin
+        bins.(bins_open) <- Node_id.Set.singleton block;
+        assign (i + 1) (bins_open + 1) unassigned unassigned_cost;
+        bins.(bins_open) <- Node_id.Set.empty
+      end
+    end
+  in
+  (match assign 0 0 0 0. with
+   | () -> ()
+   | exception Deadline -> timed_out := true);
+  {
+    solution = !best;
+    outcome = (if !timed_out then Timed_out else Optimal);
+    nodes_explored = !nodes_explored;
+    leaves_checked = !leaves_checked;
+  }

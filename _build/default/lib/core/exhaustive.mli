@@ -1,0 +1,57 @@
+(** Optimal partitioning by exhaustive search (§4.1).
+
+    The search space is "every combination of n blocks into n programmable
+    blocks (a combination need not use every block)", i.e. every
+    assignment of each eligible block to {e unassigned} or to one of a set
+    of interchangeable bins.  As in the paper, search-tree symmetry over
+    empty bins is pruned: a block may only open the single next empty bin.
+
+    Two refinements beyond the paper are available and on by default
+    (turning them off reproduces the paper's raw search):
+
+    - {e bound pruning}: abandon a branch whose partial total (bins opened
+      + blocks left unassigned so far) can no longer beat the incumbent;
+    - {e pin pruning is deliberately absent}: a bin's pin usage is not
+      monotone in its membership (absorbing a neighbour can free pins), so
+      pruning on intermediate pin counts would be unsound.
+
+    Complexity is super-exponential; the paper found eleven inner blocks
+    already costs a user-noticeable wait and fourteen did not finish in
+    four hours.  Use [deadline] for graceful time-outs. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type objective =
+  | Fewest_blocks
+      (** the paper's objective: minimise inner blocks after replacement,
+          tie-broken towards more coverage *)
+  | Lowest_cost
+      (** the future-work objective: minimise the summed cost of the
+          remaining inner blocks ({!Solution.total_cost_after}), which
+          matters once shapes with different costs are available *)
+
+type config = {
+  shapes : Shape.t list;
+  partition_config : Partition.config;
+  bound_pruning : bool;
+  objective : objective;
+}
+
+val default_config : config
+(** 2x2 shape, per-edge pins, convexity, bound pruning, [Fewest_blocks]. *)
+
+type outcome =
+  | Optimal
+  | Timed_out  (** best solution found before the deadline *)
+
+type result = {
+  solution : Solution.t;
+  outcome : outcome;
+  nodes_explored : int;  (** search-tree nodes visited *)
+  leaves_checked : int;  (** complete assignments whose validity was tested *)
+}
+
+val run : ?config:config -> ?deadline_s:float -> Graph.t -> result
+(** [deadline_s] is a CPU-seconds budget (measured with [Sys.time]).  The
+    returned solution always passes {!Solution.check}. *)

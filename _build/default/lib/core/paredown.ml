@@ -1,0 +1,306 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type tie_break =
+  | Greatest_indegree
+  | Greatest_outdegree
+  | Highest_level
+  | Highest_id
+
+type empty_candidate_policy =
+  | Stop_everything
+  | Skip_block
+
+type config = {
+  shapes : Shape.t list;
+  partition_config : Partition.config;
+  tie_breaks : tie_break list;
+  on_empty_candidate : empty_candidate_policy;
+}
+
+let default_config = {
+  shapes = [ Shape.default ];
+  partition_config = Partition.default_config;
+  tie_breaks = [ Greatest_indegree; Greatest_outdegree; Highest_level ];
+  on_empty_candidate = Skip_block;
+}
+
+type stats = {
+  outer_iterations : int;
+  fit_checks : int;
+  removals : int;
+}
+
+type event =
+  | Candidate_started of Node_id.Set.t
+  | Ranked of (Node_id.t * int) list
+  | Removed of Node_id.t * int
+  | Accepted of Node_id.Set.t * Shape.t
+  | Left_single of Node_id.t
+  | Unplaceable of Node_id.t
+
+let pp_event ppf = function
+  | Candidate_started set ->
+    Format.fprintf ppf "candidate %a" Node_id.pp_set set
+  | Ranked ranks ->
+    let pp_rank ppf (id, r) = Format.fprintf ppf "%d:%+d" id r in
+    Format.fprintf ppf "border ranks %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_rank)
+      ranks
+  | Removed (id, r) -> Format.fprintf ppf "remove %d (rank %+d)" id r
+  | Accepted (set, shape) ->
+    Format.fprintf ppf "accept %a on %a" Node_id.pp_set set Shape.pp shape
+  | Left_single id ->
+    Format.fprintf ppf "leave %d pre-defined (fits but is a single block)"
+      id
+  | Unplaceable id ->
+    Format.fprintf ppf "set aside %d (does not fit any shape alone)" id
+
+type result = {
+  solution : Solution.t;
+  stats : stats;
+  trace : event list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Candidate state with incremental per-edge pin accounting.
+
+   All quantities PareDown consults per step are O(degree):
+
+   rank(b) = (in + out)(P \ b) - (in + out)(P)
+           =   #(internal edges incident to b)     [they become crossing]
+             - #(crossing edges incident to b)     [they disappear]
+
+   For the ablation-only net-based counting the deltas do not decompose
+   per edge, so that mode recomputes the counts from scratch (it is only
+   exercised on small designs). *)
+
+type candidate = {
+  g : Graph.t;
+  config : config;
+  mutable members : Node_id.Set.t;
+  mutable inputs_used : int;   (* meaningful for Per_edge counting *)
+  mutable outputs_used : int;
+}
+
+let recount cand =
+  cand.inputs_used <-
+    Partition.inputs_used ~config:cand.config.partition_config cand.g
+      cand.members;
+  cand.outputs_used <-
+    Partition.outputs_used ~config:cand.config.partition_config cand.g
+      cand.members
+
+let candidate_of_set ~config g set =
+  let cand =
+    { g; config; members = set; inputs_used = 0; outputs_used = 0 }
+  in
+  recount cand;
+  cand
+
+let is_member cand id = Node_id.Set.mem id cand.members
+
+(* (delta_inputs, delta_outputs) of removing [b]; per-edge counting. *)
+let removal_delta cand b =
+  let d_in = ref 0 and d_out = ref 0 in
+  List.iter
+    (fun e ->
+      if is_member cand e.Graph.src.Graph.node
+      then incr d_out   (* internal edge becomes an output pin *)
+      else decr d_in)   (* this input pin disappears *)
+    (Graph.fanin cand.g b);
+  List.iter
+    (fun e ->
+      if is_member cand e.Graph.dst.Graph.node
+      then incr d_in    (* internal edge becomes an input pin *)
+      else decr d_out)  (* this output pin disappears *)
+    (Graph.fanout cand.g b);
+  (!d_in, !d_out)
+
+let candidate_rank cand b =
+  match cand.config.partition_config.Partition.pin_counting with
+  | Partition.Per_edge ->
+    let d_in, d_out = removal_delta cand b in
+    d_in + d_out
+  | Partition.Per_net ->
+    let without = Node_id.Set.remove b cand.members in
+    Partition.io_used ~config:cand.config.partition_config cand.g without
+    - Partition.io_used ~config:cand.config.partition_config cand.g
+        cand.members
+
+let candidate_remove cand b =
+  (match cand.config.partition_config.Partition.pin_counting with
+   | Partition.Per_edge ->
+     let d_in, d_out = removal_delta cand b in
+     cand.members <- Node_id.Set.remove b cand.members;
+     cand.inputs_used <- cand.inputs_used + d_in;
+     cand.outputs_used <- cand.outputs_used + d_out
+   | Partition.Per_net ->
+     cand.members <- Node_id.Set.remove b cand.members;
+     recount cand)
+
+let candidate_is_border cand b =
+  let all_inputs_outside =
+    List.for_all
+      (fun e -> not (is_member cand e.Graph.src.Graph.node))
+      (Graph.fanin cand.g b)
+  in
+  all_inputs_outside
+  || List.for_all
+       (fun e -> not (is_member cand e.Graph.dst.Graph.node))
+       (Graph.fanout cand.g b)
+
+let candidate_fits cand =
+  let pins_ok =
+    List.exists
+      (fun shape ->
+        Shape.fits shape ~inputs_used:cand.inputs_used
+          ~outputs_used:cand.outputs_used)
+      cand.config.shapes
+  in
+  pins_ok
+  && ((not cand.config.partition_config.Partition.require_convex)
+      || Netlist.Cut.is_convex cand.g cand.members)
+
+let chosen_shape cand =
+  Shape.cheapest_fitting cand.config.shapes ~inputs_used:cand.inputs_used
+    ~outputs_used:cand.outputs_used
+
+(* ------------------------------------------------------------------ *)
+(* Removal choice.                                                     *)
+
+(* Tie-break key among equally-ranked border blocks: the smaller key is
+   removed first. *)
+let tie_key ~config ~levels g id =
+  let level id =
+    match Node_id.Map.find_opt id levels with Some l -> l | None -> 0
+  in
+  List.map
+    (function
+      | Greatest_indegree -> -Graph.in_degree g id
+      | Greatest_outdegree -> -Graph.out_degree g id
+      | Highest_level -> -level id
+      | Highest_id -> -id)
+    config.tie_breaks
+  @ [ -id ]
+
+let border_ranks_of cand =
+  Node_id.Set.fold
+    (fun id acc ->
+      if candidate_is_border cand id then (id, candidate_rank cand id) :: acc
+      else acc)
+    cand.members []
+  |> List.rev
+
+let choose_victim ~levels cand =
+  let config = cand.config in
+  let best = ref None in
+  Node_id.Set.iter
+    (fun id ->
+      if candidate_is_border cand id then begin
+        let rank = candidate_rank cand id in
+        let key = (rank, tie_key ~config ~levels cand.g id) in
+        match !best with
+        | Some (_, _, best_key) when compare key best_key >= 0 -> ()
+        | Some _ | None -> best := Some (id, rank, key)
+      end)
+    cand.members;
+  Option.map (fun (id, rank, _) -> (id, rank)) !best
+
+(* ------------------------------------------------------------------ *)
+(* Public one-off helpers (tests, walkthroughs).                       *)
+
+let rank ?(config = default_config) g candidate b =
+  candidate_rank (candidate_of_set ~config g candidate) b
+
+let removal_choice ?(config = default_config) g candidate =
+  if Node_id.Set.is_empty candidate then None
+  else
+    let levels = Graph.levels g in
+    Option.map fst
+      (choose_victim ~levels (candidate_of_set ~config g candidate))
+
+(* ------------------------------------------------------------------ *)
+(* The decomposition method (Figure 4).                                *)
+
+let run ?(config = default_config) ?(record_trace = false) g =
+  let levels = Graph.levels g in
+  let trace = ref [] in
+  (* Trace payloads (border ranks in particular) are costly to build, so
+     they are only computed when tracing is on. *)
+  let emit event = if record_trace then trace := event () :: !trace in
+  let outer = ref 0 in
+  let fit_checks = ref 0 in
+  let removals = ref 0 in
+  let eligible = Node_id.Set.of_list (Graph.partitionable_nodes g) in
+  (* [pare blocks cand] is the inner loop of Figure 4; returns the new
+     working set and accumulated partitions, or [None] when the paper's
+     Stop_everything policy fires on an emptied candidate. *)
+  let rec pare blocks cand partitions =
+    incr fit_checks;
+    if candidate_fits cand then begin
+      match Node_id.Set.cardinal cand.members with
+      | 0 ->
+        (* Only reachable by paring a lone unplaceable block down to
+           nothing. *)
+        (match config.on_empty_candidate with
+         | Stop_everything -> None
+         | Skip_block -> Some (blocks, partitions))
+      | 1 ->
+        let id = Node_id.Set.choose cand.members in
+        emit (fun () -> Left_single id);
+        Some (Node_id.Set.diff blocks cand.members, partitions)
+      | _ ->
+        let shape =
+          match chosen_shape cand with
+          | Some s -> s
+          | None -> assert false (* candidate_fits just succeeded *)
+        in
+        let members = cand.members in
+        emit (fun () -> Accepted (members, shape));
+        let partition = Partition.make ~members ~shape in
+        Some (Node_id.Set.diff blocks members, partition :: partitions)
+    end
+    else begin
+      emit (fun () -> Ranked (border_ranks_of cand));
+      match choose_victim ~levels cand with
+      | None -> Some (blocks, partitions)  (* defensive; not reachable *)
+      | Some (victim, victim_rank) ->
+        incr removals;
+        emit (fun () -> Removed (victim, victim_rank));
+        candidate_remove cand victim;
+        let blocks =
+          if Node_id.Set.is_empty cand.members then begin
+            (* The victim could not fit even alone. *)
+            emit (fun () -> Unplaceable victim);
+            Node_id.Set.remove victim blocks
+          end
+          else blocks
+        in
+        pare blocks cand partitions
+    end
+  in
+  let rec main blocks partitions =
+    if Node_id.Set.is_empty blocks then partitions
+    else begin
+      incr outer;
+      emit (fun () -> Candidate_started blocks);
+      let cand = candidate_of_set ~config g blocks in
+      match pare blocks cand partitions with
+      | None -> partitions
+      | Some (blocks', partitions') -> main blocks' partitions'
+    end
+  in
+  let partitions = List.rev (main eligible []) in
+  {
+    solution = { Solution.partitions };
+    stats =
+      {
+        outer_iterations = !outer;
+        fit_checks = !fit_checks;
+        removals = !removals;
+      };
+    trace = List.rev !trace;
+  }

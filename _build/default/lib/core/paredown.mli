@@ -1,0 +1,82 @@
+(** The PareDown decomposition heuristic (§4.2).
+
+    PareDown "begins by selecting all internal blocks of a design as a
+    candidate partition, and then removes blocks from the partition until
+    input and output constraints are met".  Each accepted partition's
+    members leave the working set and the process repeats until no blocks
+    remain.
+
+    The block removed from an invalid candidate is the {e border block}
+    with the lowest {e rank} (net change of the candidate's combined
+    indegree and outdegree if the block were removed); ties go to the
+    greatest indegree, then greatest outdegree, then highest level, then —
+    a detail the paper leaves open; this choice reproduces Figure 5 — the
+    highest node id. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type tie_break =
+  | Greatest_indegree
+  | Greatest_outdegree
+  | Highest_level
+  | Highest_id  (** always appended implicitly to make removal total *)
+
+type empty_candidate_policy =
+  | Stop_everything
+      (** the paper's literal pseudocode: return the partitions found so
+          far, abandoning any blocks still in the working set *)
+  | Skip_block
+      (** continue with the remaining blocks after setting aside the
+          single block that could not fit on its own (matches the paper's
+          complexity analysis and is never worse); the default *)
+
+type config = {
+  shapes : Shape.t list;           (** candidate fits if any shape fits *)
+  partition_config : Partition.config;
+  tie_breaks : tie_break list;
+  on_empty_candidate : empty_candidate_policy;
+}
+
+val default_config : config
+(** The paper's setup: one 2-in/2-out shape, per-edge pins, convexity
+    required, ties by indegree/outdegree/level, [Skip_block]. *)
+
+type stats = {
+  outer_iterations : int;  (** candidate partitions started *)
+  fit_checks : int;        (** "fits in a programmable block" tests *)
+  removals : int;          (** border blocks removed from candidates *)
+}
+
+type event =
+  | Candidate_started of Node_id.Set.t
+  | Ranked of (Node_id.t * int) list
+      (** border blocks of the current candidate with their ranks *)
+  | Removed of Node_id.t * int  (** block evicted, with its rank *)
+  | Accepted of Node_id.Set.t * Shape.t
+  | Left_single of Node_id.t
+      (** fits alone but single-member partitions are invalid: the block
+          stays pre-defined *)
+  | Unplaceable of Node_id.t
+      (** no shape can host even this block alone *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type result = {
+  solution : Solution.t;
+  stats : stats;
+  trace : event list;  (** chronological; empty unless requested *)
+}
+
+val rank : ?config:config -> Graph.t -> Node_id.Set.t -> Node_id.t -> int
+(** [rank g candidate b] — the io delta of removing [b] from
+    [candidate]. *)
+
+val removal_choice :
+  ?config:config -> Graph.t -> Node_id.Set.t -> Node_id.t option
+(** The border block PareDown would evict from the candidate, or [None]
+    on an empty candidate. *)
+
+val run : ?config:config -> ?record_trace:bool -> Graph.t -> result
+(** Partition the graph's eligible inner blocks.  The graph must be
+    acyclic (levels are needed for tie-breaking). *)

@@ -1,0 +1,38 @@
+type t = {
+  inputs : int;
+  outputs : int;
+  cost : float;
+}
+
+let make ~inputs ~outputs ?(cost = Eblock.Cost.programmable) () =
+  if inputs <= 0 || outputs <= 0 then
+    invalid_arg "Shape.make: arities must be positive";
+  if cost < 0. then invalid_arg "Shape.make: negative cost";
+  { inputs; outputs; cost }
+
+let default = make ~inputs:2 ~outputs:2 ()
+
+let fits t ~inputs_used ~outputs_used =
+  inputs_used <= t.inputs && outputs_used <= t.outputs
+
+let cheapest_fitting shapes ~inputs_used ~outputs_used =
+  let candidates = List.filter (fun s -> fits s ~inputs_used ~outputs_used) shapes in
+  let better a b =
+    match Float.compare a.cost b.cost with
+    | 0 ->
+      (match Int.compare (a.inputs + a.outputs) (b.inputs + b.outputs) with
+       | 0 -> Int.compare a.inputs b.inputs
+       | c -> c)
+    | c -> c
+  in
+  match List.sort better candidates with
+  | [] -> None
+  | best :: _ -> Some best
+
+let equal a b =
+  a.inputs = b.inputs && a.outputs = b.outputs
+  && Float.equal a.cost b.cost
+
+let to_string t = Printf.sprintf "%dx%d" t.inputs t.outputs
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

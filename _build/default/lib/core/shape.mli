@@ -1,0 +1,31 @@
+(** Programmable-block shapes.
+
+    A programmable block "features a finite number of inputs and outputs"
+    (§2).  The paper's experiments assume one shape with two inputs and two
+    outputs; its future work considers "multiple types of programmable
+    blocks (having different number of inputs and outputs) and varying
+    compute block costs", which the shape-set APIs here support. *)
+
+type t = private {
+  inputs : int;
+  outputs : int;
+  cost : float;
+}
+
+val make : inputs:int -> outputs:int -> ?cost:float -> unit -> t
+(** Raises [Invalid_argument] on non-positive arities or negative cost.
+    [cost] defaults to {!Eblock.Cost.programmable}. *)
+
+val default : t
+(** The paper's programmable block: 2 inputs, 2 outputs. *)
+
+val fits : t -> inputs_used:int -> outputs_used:int -> bool
+
+val cheapest_fitting :
+  t list -> inputs_used:int -> outputs_used:int -> t option
+(** The lowest-cost shape accommodating the given pin usage (ties broken
+    towards fewer total pins, then fewer inputs). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,46 @@
+(** A partitioning outcome and the paper's quality metrics.
+
+    Table 1/Table 2 report, per design: {e Inner Blocks (Total)} — inner
+    blocks remaining after replacement, i.e. uncovered inner blocks plus
+    one programmable block per partition — and {e Inner Blocks (Prog.)} —
+    the number of partitions. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type t = {
+  partitions : Partition.t list;
+}
+
+val empty : t
+
+val covered : t -> Node_id.Set.t
+(** Union of all partitions' members. *)
+
+val covered_count : t -> int
+val programmable_count : t -> int
+
+val uncovered : Graph.t -> t -> Node_id.Set.t
+(** Inner nodes of the graph not covered by any partition. *)
+
+val total_inner_after : Graph.t -> t -> int
+(** The paper's {e Inner Blocks (Total)} metric. *)
+
+val total_cost_after : Graph.t -> t -> float
+(** Cost of the inner nodes after replacement: uncovered nodes keep their
+    catalogue cost; each partition contributes its shape's cost. *)
+
+val compare_quality : Graph.t -> t -> t -> int
+(** The paper's objective, lexicographic: fewer total inner blocks first;
+    among equal totals, "covers the most number of blocks"; then fewer
+    partitions.  Negative when the first solution is better. *)
+
+val compare_cost : Graph.t -> t -> t -> int
+(** The cost objective of the paper's future work ("varying compute block
+    costs"): lower {!total_cost_after} first, with {!compare_quality} as
+    the tie-break.  Negative when the first solution is better. *)
+
+val check : ?config:Partition.config -> Graph.t -> t -> (unit, string) result
+(** Every partition valid and partitions pairwise disjoint. *)
+
+val pp : Format.formatter -> t -> unit

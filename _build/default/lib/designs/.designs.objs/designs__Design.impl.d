@@ -1,0 +1,1 @@
+lib/designs/design.ml: List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/designs/design.mli: Eblock Netlist

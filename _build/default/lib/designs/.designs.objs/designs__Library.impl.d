@@ -1,0 +1,1 @@
+lib/designs/library.ml: Design Eblock List String

@@ -1,0 +1,1 @@
+lib/designs/library.mli: Design

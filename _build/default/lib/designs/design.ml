@@ -1,0 +1,42 @@
+module Graph = Netlist.Graph
+
+type paper_row = {
+  inner_original : int;
+  exhaustive_total : int option;
+  exhaustive_prog : int option;
+  paredown_total : int;
+  paredown_prog : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  network : Graph.t;
+  paper : paper_row option;
+}
+
+let make ~name ~description ?paper ~nodes ~edges () =
+  let g =
+    List.fold_left
+      (fun g (id, descriptor) -> fst (Graph.add ~id g descriptor))
+      Graph.empty nodes
+  in
+  let g =
+    List.fold_left (fun g (src, dst) -> Graph.connect g ~src ~dst) g edges
+  in
+  (match Graph.validate g with
+   | Ok () -> ()
+   | Error problems ->
+     failwith
+       (Printf.sprintf "design %s is malformed: %s" name
+          (String.concat "; " problems)));
+  (match paper with
+   | Some row when row.inner_original <> Graph.inner_count g ->
+     failwith
+       (Printf.sprintf
+          "design %s has %d inner blocks but Table 1 says %d" name
+          (Graph.inner_count g) row.inner_original)
+   | Some _ | None -> ());
+  { name; description; network = g; paper }
+
+let inner_count t = Graph.inner_count t.network

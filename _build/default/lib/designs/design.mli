@@ -1,0 +1,40 @@
+(** A named eBlock design plus the numbers the paper reports for it.
+
+    The original 15 designs lived in the eBlocks web library [8], which is
+    no longer available; each design here is a reconstruction from the
+    paper's application descriptions with the same inner-block count as
+    Table 1 (see DESIGN.md §3 and the documentation next to each design
+    in {!Library}). *)
+
+module Graph = Netlist.Graph
+
+type paper_row = {
+  inner_original : int;          (** Table 1 "Inner Blocks (Original)" *)
+  exhaustive_total : int option; (** None where Table 1 shows "--" *)
+  exhaustive_prog : int option;
+  paredown_total : int;
+  paredown_prog : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  network : Graph.t;
+  paper : paper_row option;
+      (** [None] for designs that are not Table 1 rows (the motivating
+          applications of §1) *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  ?paper:paper_row ->
+  nodes:(int * Eblock.Descriptor.t) list ->
+  edges:((int * int) * (int * int)) list ->
+  unit ->
+  t
+(** Build and validate the network; raises [Failure] with a design-named
+    message if the built network fails [Graph.validate] or its inner-block
+    count disagrees with [paper.inner_original]. *)
+
+val inner_count : t -> int

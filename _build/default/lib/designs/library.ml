@@ -1,0 +1,583 @@
+module C = Eblock.Catalog
+
+let row ?exhaustive_total ?exhaustive_prog ~inner ~pd_total ~pd_prog () =
+  {
+    Design.inner_original = inner;
+    exhaustive_total;
+    exhaustive_prog;
+    paredown_total = pd_total;
+    paredown_prog = pd_prog;
+  }
+
+(* Headlight reminder: ignition on while it is dark outside lights a
+   warning LED.  Inner: a NOT on the light sensor and an AND. *)
+let ignition_illuminator =
+  Design.make ~name:"Ignition Illuminator"
+    ~description:"Lights an LED when the ignition is on after dark."
+    ~paper:
+      (row ~inner:2 ~exhaustive_total:1 ~exhaustive_prog:1 ~pd_total:1
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.contact_switch);  (* ignition sense *)
+        (2, C.light_sensor);
+        (3, C.not_gate);
+        (4, C.and2);
+        (5, C.led);
+      ]
+    ~edges:
+      [ ((2, 0), (3, 0)); ((1, 0), (4, 0)); ((3, 0), (4, 1));
+        ((4, 0), (5, 0)) ]
+    ()
+
+(* Dark room plus motion turns on a lamp relay. *)
+let night_lamp_controller =
+  Design.make ~name:"Night Lamp Controller"
+    ~description:"Switches a lamp on when motion is sensed in the dark."
+    ~paper:
+      (row ~inner:2 ~exhaustive_total:1 ~exhaustive_prog:1 ~pd_total:1
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.light_sensor);
+        (2, C.motion_sensor);
+        (3, C.not_gate);
+        (4, C.and2);
+        (5, C.relay);
+      ]
+    ~edges:
+      [ ((1, 0), (3, 0)); ((3, 0), (4, 0)); ((2, 0), (4, 1));
+        ((4, 0), (5, 0)) ]
+    ()
+
+(* A magnet switch opens when the gate opens; the event is latched and
+   sounds a buzzer until power-cycled. *)
+let entry_gate_detector =
+  Design.make ~name:"Entry Gate Detector"
+    ~description:"Latches a buzzer when the entry gate has been opened."
+    ~paper:
+      (row ~inner:2 ~exhaustive_total:1 ~exhaustive_prog:1 ~pd_total:1
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.magnet_sensor);
+        (2, C.not_gate);
+        (3, C.trip_latch);
+        (4, C.buzzer);
+      ]
+    ~edges:[ ((1, 0), (2, 0)); ((2, 0), (3, 0)); ((3, 0), (4, 0)) ]
+    ()
+
+(* Press when the carpool arrives; the LED stays lit for a while so a
+   passenger inside notices. *)
+let carpool_alert =
+  Design.make ~name:"Carpool Alert"
+    ~description:"A doorside button lights an indoor LED for a while."
+    ~paper:
+      (row ~inner:2 ~exhaustive_total:1 ~exhaustive_prog:1 ~pd_total:1
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.button);
+        (2, C.toggle);
+        (3, C.prolong ~ticks:20);
+        (4, C.led);
+      ]
+    ~edges:[ ((1, 0), (2, 0)); ((2, 0), (3, 0)); ((3, 0), (4, 0)) ]
+    ()
+
+(* Staff toggle "food ready"; the alert only shows during open hours and
+   lingers briefly after being switched off. *)
+let cafeteria_food_alert =
+  Design.make ~name:"Cafeteria Food Alert"
+    ~description:"Shows a food-ready light during cafeteria open hours."
+    ~paper:
+      (row ~inner:3 ~exhaustive_total:1 ~exhaustive_prog:1 ~pd_total:1
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.button);          (* food ready *)
+        (2, C.contact_switch);  (* open-hours switch *)
+        (3, C.toggle);
+        (4, C.and2);
+        (5, C.prolong ~ticks:30);
+        (6, C.led);
+      ]
+    ~edges:
+      [
+        ((1, 0), (3, 0)); ((3, 0), (4, 0)); ((2, 0), (4, 1));
+        ((4, 0), (5, 0)); ((5, 0), (6, 0));
+      ]
+    ()
+
+(* Start the talk timer with a button; one warning flash near the end. *)
+let podium_timer_2 =
+  Design.make ~name:"Podium Timer 2"
+    ~description:"Single-warning podium timer: button, delay, flash."
+    ~paper:
+      (row ~inner:3 ~exhaustive_total:1 ~exhaustive_prog:1 ~pd_total:1
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.button);
+        (2, C.toggle);
+        (3, C.delay ~ticks:30);
+        (4, C.pulse_gen ~width:5);
+        (5, C.led);
+      ]
+    ~edges:
+      [ ((1, 0), (2, 0)); ((2, 0), (3, 0)); ((3, 0), (4, 0));
+        ((4, 0), (5, 0)) ]
+    ()
+
+(* Four window contacts OR-ed in a tree.  No subset of the OR tree fits a
+   2-in/2-out block (every candidate needs at least three inputs), so the
+   design is already minimal — the "partitioning finds nothing" row. *)
+let any_window_open_alarm =
+  Design.make ~name:"Any Window Open Alarm"
+    ~description:"Sounds a buzzer when any of four windows is open."
+    ~paper:
+      (row ~inner:3 ~exhaustive_total:3 ~exhaustive_prog:0 ~pd_total:3
+         ~pd_prog:0 ())
+    ~nodes:
+      [
+        (1, C.contact_switch); (2, C.contact_switch);
+        (3, C.contact_switch); (4, C.contact_switch);
+        (5, C.or2); (6, C.or2); (7, C.or2);
+        (8, C.buzzer);
+      ]
+    ~edges:
+      [
+        ((1, 0), (5, 0)); ((2, 0), (5, 1));
+        ((3, 0), (6, 0)); ((4, 0), (6, 1));
+        ((5, 0), (7, 0)); ((6, 0), (7, 1));
+        ((7, 0), (8, 0));
+      ]
+    ()
+
+(* Two 3-way-switch style buttons toggle a main light; each button has a
+   local indicator and the main light has a companion buzzer.  Every
+   candidate subgraph needs at least three output pins, so nothing fits a
+   2x2 block.  (Table 1 prints exhaustive Prog. = 1 for this row, which is
+   inconsistent with its own Total = 3 under the stated objective — see
+   EXPERIMENTS.md.) *)
+let two_button_light =
+  Design.make ~name:"Two Button Light"
+    ~description:"Two toggling buttons control one light, with indicators."
+    ~paper:
+      (row ~inner:3 ~exhaustive_total:3 ~exhaustive_prog:1 ~pd_total:3
+         ~pd_prog:1 ())
+    ~nodes:
+      [
+        (1, C.button); (2, C.button);
+        (3, C.toggle); (4, C.toggle); (5, C.xor2);
+        (6, C.led); (7, C.led); (8, C.led); (9, C.buzzer);
+      ]
+    ~edges:
+      [
+        ((1, 0), (3, 0)); ((2, 0), (4, 0));
+        ((3, 0), (5, 0)); ((4, 0), (5, 1));
+        ((3, 0), (6, 0)); ((4, 0), (7, 0));
+        ((5, 0), (8, 0)); ((5, 0), (9, 0));
+      ]
+    ()
+
+(* The doorbell press is stretched into a pulse and repeated over two
+   wireless hops; the only compute block is the pulse generator, so
+   nothing can be combined. *)
+let doorbell_extender_1 =
+  Design.make ~name:"Doorbell Extender 1"
+    ~description:"Extends a doorbell over two wireless hops."
+    ~paper:
+      (row ~inner:5 ~exhaustive_total:5 ~exhaustive_prog:0 ~pd_total:5
+         ~pd_prog:0 ())
+    ~nodes:
+      [
+        (1, C.button);
+        (2, C.pulse_gen ~width:10);
+        (3, C.wireless_tx); (4, C.wireless_rx);
+        (5, C.wireless_tx); (6, C.wireless_rx);
+        (7, C.buzzer); (8, C.buzzer);
+      ]
+    ~edges:
+      [
+        ((1, 0), (2, 0)); ((2, 0), (3, 0)); ((3, 0), (4, 0));
+        ((4, 0), (7, 0)); ((4, 0), (5, 0)); ((5, 0), (6, 0));
+        ((6, 0), (8, 0));
+      ]
+    ()
+
+(* As above plus a prolong at the far end; pulse and prolong cannot share
+   a programmable block because the path between them runs through the
+   radio links (the candidate is not convex). *)
+let doorbell_extender_2 =
+  Design.make ~name:"Doorbell Extender 2"
+    ~description:"Two-hop doorbell extender with a lingering far-end tone."
+    ~paper:
+      (row ~inner:6 ~exhaustive_total:6 ~exhaustive_prog:0 ~pd_total:6
+         ~pd_prog:0 ())
+    ~nodes:
+      [
+        (1, C.button);
+        (2, C.pulse_gen ~width:10);
+        (3, C.wireless_tx); (4, C.wireless_rx);
+        (5, C.wireless_tx); (6, C.wireless_rx);
+        (7, C.prolong ~ticks:15);
+        (8, C.buzzer); (9, C.buzzer);
+      ]
+    ~edges:
+      [
+        ((1, 0), (2, 0)); ((2, 0), (3, 0)); ((3, 0), (4, 0));
+        ((4, 0), (8, 0)); ((4, 0), (5, 0)); ((5, 0), (6, 0));
+        ((6, 0), (7, 0)); ((7, 0), (9, 0));
+      ]
+    ()
+
+(* The paper's worked example (Figure 5).  This reconstruction reproduces
+   the published PareDown trace exactly: border ranks (+1, +1, 0) on the
+   initial candidate, removals 9, 8, 7, 6, accepted partitions {2,3,4,5}
+   and {6,8,9}, block 7 left pre-defined — and the exhaustive optimum
+   {2,3,4,5}, {7,8}, {6,9} covering all eight blocks. *)
+let podium_timer_3 =
+  Design.make ~name:"Podium Timer 3"
+    ~description:"Two-stage podium timer with warning and end-of-time LEDs."
+    ~paper:
+      (row ~inner:8 ~exhaustive_total:3 ~exhaustive_prog:3 ~pd_total:3
+         ~pd_prog:2 ())
+    ~nodes:
+      [
+        (1, C.button);
+        (2, C.toggle);
+        (3, C.delay ~ticks:30);
+        (4, C.delay ~ticks:60);
+        (5, C.or2);
+        (6, C.splitter2);
+        (7, C.splitter2);
+        (8, C.or2);
+        (9, C.pulse_gen ~width:5);
+        (10, C.led); (11, C.led); (12, C.led);
+      ]
+    ~edges:
+      [
+        ((1, 0), (2, 0));
+        ((2, 0), (3, 0)); ((2, 0), (4, 0));
+        ((3, 0), (5, 0)); ((4, 0), (5, 1));
+        ((5, 0), (6, 0)); ((5, 0), (7, 0));
+        ((6, 0), (8, 0)); ((6, 1), (9, 0));
+        ((7, 0), (8, 1)); ((7, 1), (10, 0));
+        ((8, 0), (11, 0)); ((9, 0), (12, 0));
+      ]
+    ()
+
+(* Bedroom unit (noise while dark) radios the event to the parents' room,
+   which latches it, beeps, and drives two softer indicators gated by
+   motion and a second microphone. *)
+let noise_at_night_detector =
+  Design.make ~name:"Noise At Night Detector"
+    ~description:"Alerts the parents' room to noise in a dark bedroom."
+    ~paper:
+      (row ~inner:10 ~exhaustive_total:6 ~exhaustive_prog:4 ~pd_total:6
+         ~pd_prog:4 ())
+    ~nodes:
+      [
+        (1, C.light_sensor);
+        (2, C.sound_sensor);
+        (3, C.motion_sensor);
+        (4, C.sound_sensor);
+        (5, C.not_gate);
+        (6, C.and2);
+        (7, C.wireless_tx);
+        (8, C.wireless_rx);
+        (9, C.trip_latch);
+        (10, C.pulse_gen ~width:5);
+        (11, C.prolong ~ticks:10);
+        (12, C.and2);
+        (13, C.delay ~ticks:10);
+        (14, C.or2);
+        (15, C.buzzer); (16, C.led); (17, C.led);
+      ]
+    ~edges:
+      [
+        ((1, 0), (5, 0));
+        ((2, 0), (6, 0)); ((5, 0), (6, 1));
+        ((6, 0), (7, 0)); ((7, 0), (8, 0));
+        ((8, 0), (9, 0)); ((9, 0), (10, 0)); ((10, 0), (15, 0));
+        ((8, 0), (11, 0)); ((11, 0), (12, 0)); ((3, 0), (12, 1));
+        ((12, 0), (16, 0));
+        ((3, 0), (13, 0)); ((13, 0), (14, 0)); ((4, 0), (14, 1));
+        ((14, 0), (17, 0));
+      ]
+    ()
+
+(* Two armed zones, each debouncing and latching its window OR-tree
+   before radioing the house; a central latch drives siren and light; a
+   tamper loop has its own siren.  The OR3 gates need three input pins so
+   they can never enter a 2x2 block. *)
+let two_zone_security =
+  Design.make ~name:"Two-Zone Security"
+    ~description:"Two armed window zones radio a central alarm latch."
+    ~paper:(row ~inner:19 ~pd_total:10 ~pd_prog:3 ())
+    ~nodes:
+      [
+        (* zone A: windows 1-3, arm switch 4 *)
+        (1, C.contact_switch); (2, C.contact_switch); (3, C.contact_switch);
+        (4, C.contact_switch);
+        (* zone B: windows 5-7, arm switch 8 *)
+        (5, C.contact_switch); (6, C.contact_switch); (7, C.contact_switch);
+        (8, C.contact_switch);
+        (* tamper loop contacts *)
+        (9, C.contact_switch); (10, C.contact_switch); (11, C.contact_switch);
+        (* zone A inner *)
+        (12, C.or3); (13, C.prolong ~ticks:5); (14, C.and2);
+        (15, C.trip_latch); (16, C.pulse_gen ~width:5);
+        (17, C.wireless_tx); (18, C.wireless_rx);
+        (* zone B inner *)
+        (19, C.or3); (20, C.prolong ~ticks:5); (21, C.and2);
+        (22, C.trip_latch); (23, C.pulse_gen ~width:5);
+        (24, C.wireless_tx); (25, C.wireless_rx);
+        (* central *)
+        (26, C.or2); (27, C.trip_latch); (28, C.prolong ~ticks:20);
+        (29, C.splitter2);
+        (* tamper *)
+        (30, C.or3);
+        (* outputs *)
+        (31, C.buzzer); (32, C.led); (33, C.buzzer);
+      ]
+    ~edges:
+      [
+        ((1, 0), (12, 0)); ((2, 0), (12, 1)); ((3, 0), (12, 2));
+        ((12, 0), (13, 0)); ((13, 0), (14, 0)); ((4, 0), (14, 1));
+        ((14, 0), (15, 0)); ((15, 0), (16, 0)); ((16, 0), (17, 0));
+        ((17, 0), (18, 0));
+        ((5, 0), (19, 0)); ((6, 0), (19, 1)); ((7, 0), (19, 2));
+        ((19, 0), (20, 0)); ((20, 0), (21, 0)); ((8, 0), (21, 1));
+        ((21, 0), (22, 0)); ((22, 0), (23, 0)); ((23, 0), (24, 0));
+        ((24, 0), (25, 0));
+        ((18, 0), (26, 0)); ((25, 0), (26, 1));
+        ((26, 0), (27, 0)); ((27, 0), (28, 0)); ((28, 0), (29, 0));
+        ((29, 0), (31, 0)); ((29, 1), (32, 0));
+        ((9, 0), (30, 0)); ((10, 0), (30, 1)); ((11, 0), (30, 2));
+        ((30, 0), (33, 0));
+      ]
+    ()
+
+(* Five motion zones share one arm switch; every zone's AND needs the arm
+   line plus its own sensor, so any two ANDs would need four input pins —
+   nothing combines, matching the paper's 19 -> 19 result.  The two far
+   corners reach the house through a repeater hop. *)
+let motion_on_property_alert =
+  Design.make ~name:"Motion on Property Alert"
+    ~description:"Five armed motion zones radio per-zone indicator LEDs."
+    ~paper:(row ~inner:19 ~pd_total:19 ~pd_prog:0 ())
+    ~nodes:
+      [
+        (1, C.contact_switch);  (* arm switch *)
+        (2, C.motion_sensor); (3, C.motion_sensor); (4, C.motion_sensor);
+        (5, C.motion_sensor); (6, C.motion_sensor);
+        (* zone 1 *)
+        (7, C.and2); (8, C.wireless_tx); (9, C.wireless_rx);
+        (* zone 2 *)
+        (10, C.and2); (11, C.wireless_tx); (12, C.wireless_rx);
+        (* zone 3 *)
+        (13, C.and2); (14, C.wireless_tx); (15, C.wireless_rx);
+        (* zone 4, double hop *)
+        (16, C.and2); (17, C.wireless_tx); (18, C.wireless_rx);
+        (19, C.wireless_tx); (20, C.wireless_rx);
+        (* zone 5, double hop *)
+        (21, C.and2); (22, C.wireless_tx); (23, C.wireless_rx);
+        (24, C.wireless_tx); (25, C.wireless_rx);
+        (* outputs *)
+        (26, C.led); (27, C.led); (28, C.led); (29, C.led); (30, C.led);
+      ]
+    ~edges:
+      [
+        ((2, 0), (7, 0)); ((1, 0), (7, 1)); ((7, 0), (8, 0));
+        ((8, 0), (9, 0)); ((9, 0), (26, 0));
+        ((3, 0), (10, 0)); ((1, 0), (10, 1)); ((10, 0), (11, 0));
+        ((11, 0), (12, 0)); ((12, 0), (27, 0));
+        ((4, 0), (13, 0)); ((1, 0), (13, 1)); ((13, 0), (14, 0));
+        ((14, 0), (15, 0)); ((15, 0), (28, 0));
+        ((5, 0), (16, 0)); ((1, 0), (16, 1)); ((16, 0), (17, 0));
+        ((17, 0), (18, 0)); ((18, 0), (19, 0)); ((19, 0), (20, 0));
+        ((20, 0), (29, 0));
+        ((6, 0), (21, 0)); ((1, 0), (21, 1)); ((21, 0), (22, 0));
+        ((22, 0), (23, 0)); ((23, 0), (24, 0)); ((24, 0), (25, 0));
+        ((25, 0), (30, 0));
+      ]
+    ()
+
+(* Gate-to-gate passage monitor: entry and exit gates are processed
+   locally, radioed to a central latch, which drives a warning light, a
+   test-able alarm pulse, a dark-passage courtesy light, a doors OR-loop
+   behind its own radio hop, and two wide (3-input) status gates that are
+   too pin-hungry to be absorbed. *)
+let timed_passage =
+  Design.make ~name:"Timed Passage"
+    ~description:"Monitors passage use between two gates with status LEDs."
+    ~paper:(row ~inner:23 ~pd_total:14 ~pd_prog:5 ())
+    ~nodes:
+      [
+        (1, C.contact_switch);  (* gate A *)
+        (2, C.contact_switch);  (* gate B *)
+        (3, C.light_sensor);
+        (4, C.button);          (* alarm test *)
+        (5, C.motion_sensor);   (* passage motion *)
+        (6, C.contact_switch); (7, C.contact_switch); (8, C.contact_switch);
+        (* cluster 1: gate A entry processing *)
+        (9, C.pulse_gen ~width:5); (10, C.toggle); (11, C.and2);
+        (12, C.delay ~ticks:10);
+        (13, C.wireless_tx); (14, C.wireless_rx);
+        (* cluster 2: gate B *)
+        (15, C.pulse_gen ~width:5); (16, C.trip_latch); (17, C.and2);
+        (18, C.wireless_tx); (19, C.wireless_rx);
+        (* cluster 3: central latch *)
+        (20, C.or2); (21, C.trip_latch); (22, C.prolong ~ticks:20);
+        (* cluster 4: testable alarm *)
+        (23, C.and2); (24, C.pulse_gen ~width:5);
+        (* cluster 5: courtesy light *)
+        (25, C.not_gate); (26, C.and2);
+        (* unpartitionable: doors OR behind a radio hop, wide gates *)
+        (27, C.or3); (28, C.wireless_tx); (29, C.wireless_rx);
+        (30, C.and3); (31, C.truth_table3 ~table:0b10000000);
+        (* outputs *)
+        (32, C.led); (33, C.buzzer); (34, C.led); (35, C.led);
+        (36, C.led); (37, C.led);
+      ]
+    ~edges:
+      [
+        (* cluster 1 *)
+        ((1, 0), (9, 0)); ((9, 0), (10, 0)); ((10, 0), (11, 0));
+        ((3, 0), (11, 1)); ((11, 0), (12, 0)); ((12, 0), (13, 0));
+        ((13, 0), (14, 0));
+        (* cluster 2 *)
+        ((2, 0), (15, 0)); ((15, 0), (16, 0)); ((16, 0), (17, 0));
+        ((5, 0), (17, 1)); ((17, 0), (18, 0)); ((18, 0), (19, 0));
+        (* cluster 3 *)
+        ((14, 0), (20, 0)); ((19, 0), (20, 1)); ((20, 0), (21, 0));
+        ((21, 0), (22, 0)); ((22, 0), (32, 0));
+        (* cluster 4 *)
+        ((22, 0), (23, 0)); ((4, 0), (23, 1)); ((23, 0), (24, 0));
+        ((24, 0), (33, 0));
+        (* cluster 5 *)
+        ((3, 0), (25, 0)); ((25, 0), (26, 0)); ((5, 0), (26, 1));
+        ((26, 0), (34, 0));
+        (* doors loop *)
+        ((6, 0), (27, 0)); ((7, 0), (27, 1)); ((8, 0), (27, 2));
+        ((27, 0), (28, 0)); ((28, 0), (29, 0)); ((29, 0), (35, 0));
+        (* wide status gates *)
+        ((14, 0), (30, 0)); ((19, 0), (30, 1)); ((5, 0), (30, 2));
+        ((30, 0), (36, 0));
+        ((27, 0), (31, 0)); ((25, 0), (31, 1)); ((5, 0), (31, 2));
+        ((31, 0), (37, 0));
+      ]
+    ()
+
+let table1 =
+  [
+    ignition_illuminator; night_lamp_controller; entry_gate_detector;
+    carpool_alert; cafeteria_food_alert; podium_timer_2;
+    any_window_open_alarm; two_button_light; doorbell_extender_1;
+    doorbell_extender_2; podium_timer_3; noise_at_night_detector;
+    two_zone_security; motion_on_property_alert; timed_passage;
+  ]
+
+(* The Figure 1 system: door contact AND NOT light ("open at night"). *)
+let garage_open_at_night =
+  Design.make ~name:"Garage Open At Night"
+    ~description:"Bedroom LED when the garage door is open after dark."
+    ~nodes:
+      [
+        (1, C.contact_switch);
+        (2, C.light_sensor);
+        (3, C.truth_table2 ~table:0b0100);  (* a AND NOT b *)
+        (4, C.led);
+      ]
+    ~edges:[ ((1, 0), (3, 0)); ((2, 0), (3, 1)); ((3, 0), (4, 0)) ]
+    ()
+
+let sleepwalk_detector =
+  Design.make ~name:"Sleepwalk Detector"
+    ~description:"Hallway motion in the dark wakes the parents' buzzer."
+    ~nodes:
+      [
+        (1, C.motion_sensor);
+        (2, C.light_sensor);
+        (3, C.not_gate);
+        (4, C.and2);
+        (5, C.prolong ~ticks:10);
+        (6, C.buzzer);
+      ]
+    ~edges:
+      [
+        ((2, 0), (3, 0)); ((1, 0), (4, 0)); ((3, 0), (4, 1));
+        ((4, 0), (5, 0)); ((5, 0), (6, 0));
+      ]
+    ()
+
+let copy_machine_in_use =
+  Design.make ~name:"Copy Machine In Use"
+    ~description:"Hallway LED shows whether the copy room is occupied."
+    ~nodes:
+      [
+        (1, C.motion_sensor);
+        (2, C.prolong ~ticks:30);
+        (3, C.led);
+      ]
+    ~edges:[ ((1, 0), (2, 0)); ((2, 0), (3, 0)) ]
+    ()
+
+let conference_room_in_use =
+  Design.make ~name:"Conference Room In Use"
+    ~description:"Motion plus sound marks the conference room in use."
+    ~nodes:
+      [
+        (1, C.motion_sensor);
+        (2, C.sound_sensor);
+        (3, C.prolong ~ticks:20);
+        (4, C.prolong ~ticks:20);
+        (5, C.and2);
+        (6, C.led);
+      ]
+    ~edges:
+      [
+        ((1, 0), (3, 0)); ((2, 0), (4, 0)); ((3, 0), (5, 0));
+        ((4, 0), (5, 1)); ((5, 0), (6, 0));
+      ]
+    ()
+
+(* "an office worker may want to know whether mail exists for him in the
+   mailroom" (§1): a mailbox flap latch, reset by the collect button,
+   radioed to a desk LED.  Nothing can combine — the latch's only
+   neighbours are the radio link and primary inputs. *)
+let mailbox_alert =
+  Design.make ~name:"Mailbox Alert"
+    ~description:"Desk LED remembers mail until the collect button resets."
+    ~nodes:
+      [
+        (1, C.contact_switch);  (* mailbox flap *)
+        (2, C.button);          (* collected *)
+        (3, C.trip_reset);
+        (4, C.wireless_tx);
+        (5, C.wireless_rx);
+        (6, C.led);
+      ]
+    ~edges:
+      [
+        ((1, 0), (3, 0)); ((2, 0), (3, 1)); ((3, 0), (4, 0));
+        ((4, 0), (5, 0)); ((5, 0), (6, 0));
+      ]
+    ()
+
+let applications =
+  [
+    garage_open_at_night; sleepwalk_detector; copy_machine_in_use;
+    conference_room_in_use; mailbox_alert;
+  ]
+
+let all = table1 @ applications
+
+let find name =
+  let wanted = String.lowercase_ascii name in
+  List.find_opt
+    (fun d -> String.equal (String.lowercase_ascii d.Design.name) wanted)
+    all

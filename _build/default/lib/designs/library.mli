@@ -1,0 +1,46 @@
+(** The 15 real eBlock systems of Table 1 (reconstructions; see DESIGN.md
+    §3) and the motivating applications of §1.
+
+    Node-numbering convention in every design: sensors first, then inner
+    blocks, then primary outputs, so the inner-block ids form one
+    contiguous range (as in the paper's Figure 5). *)
+
+(** {1 Table 1 designs, in table order} *)
+
+val ignition_illuminator : Design.t
+val night_lamp_controller : Design.t
+val entry_gate_detector : Design.t
+val carpool_alert : Design.t
+val cafeteria_food_alert : Design.t
+val podium_timer_2 : Design.t
+val any_window_open_alarm : Design.t
+val two_button_light : Design.t
+val doorbell_extender_1 : Design.t
+val doorbell_extender_2 : Design.t
+val podium_timer_3 : Design.t
+val noise_at_night_detector : Design.t
+val two_zone_security : Design.t
+val motion_on_property_alert : Design.t
+val timed_passage : Design.t
+
+val table1 : Design.t list
+(** The 15 designs above, in Table 1 order. *)
+
+(** {1 Motivating applications (§1)} *)
+
+val garage_open_at_night : Design.t
+(** The Figure 1 system: contact switch + light sensor + 2-input logic +
+    LED. *)
+
+val sleepwalk_detector : Design.t
+val copy_machine_in_use : Design.t
+val conference_room_in_use : Design.t
+val mailbox_alert : Design.t
+
+val applications : Design.t list
+
+val all : Design.t list
+(** [table1 @ applications]. *)
+
+val find : string -> Design.t option
+(** Case-insensitive lookup by name among {!all}. *)

@@ -1,0 +1,1 @@
+lib/eblock/catalog.ml: Behavior Cost Descriptor Kind List Printf String

@@ -1,0 +1,1 @@
+lib/eblock/catalog.mli: Behavior Descriptor Kind

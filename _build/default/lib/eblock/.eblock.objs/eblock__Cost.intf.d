@@ -1,0 +1,1 @@
+lib/eblock/cost.mli: Kind

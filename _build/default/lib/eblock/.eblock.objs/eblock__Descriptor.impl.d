@@ -1,0 +1,1 @@
+lib/eblock/descriptor.ml: Array Behavior Format Kind String

@@ -1,0 +1,1 @@
+lib/eblock/descriptor.mli: Behavior Format Kind

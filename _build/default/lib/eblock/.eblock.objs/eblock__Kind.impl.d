@@ -1,0 +1,1 @@
+lib/eblock/kind.ml: Format

@@ -1,0 +1,1 @@
+lib/eblock/kind.mli: Format

@@ -1,0 +1,229 @@
+open Behavior.Ast
+
+(* All sequential behaviours are written to be idempotent under
+   re-activation with unchanged inputs: edge detection always goes through
+   a [prev] state variable.  This matches the change-driven packet protocol
+   (a block only receives a packet when a producer's output changed) and is
+   what makes merged programmable-block programs, which re-run every member
+   on every activation, behave like the original network. *)
+
+let sensor name =
+  Descriptor.make ~name ~kind:Kind.Sensor ~n_inputs:0 ~n_outputs:1
+    ~cost:Cost.sensor ()
+
+let button = sensor "button"
+let contact_switch = sensor "contact_switch"
+let motion_sensor = sensor "motion_sensor"
+let light_sensor = sensor "light_sensor"
+let sound_sensor = sensor "sound_sensor"
+let magnet_sensor = sensor "magnet_sensor"
+
+let output name =
+  Descriptor.make ~name ~kind:Kind.Output ~n_inputs:1 ~n_outputs:0
+    ~cost:Cost.output ()
+
+let led = output "led"
+let buzzer = output "buzzer"
+let relay = output "relay"
+
+let identity_body = [ Output (0, input 0) ]
+
+let comm name =
+  Descriptor.make ~name ~kind:Kind.Comm ~n_inputs:1 ~n_outputs:1
+    ~behavior:{ state = []; body = identity_body }
+    ~cost:Cost.comm ()
+
+let wireless_tx = comm "wireless_tx"
+let wireless_rx = comm "wireless_rx"
+let x10_link = comm "x10_link"
+
+let combinational name ~n_inputs expr =
+  Descriptor.make ~name ~kind:Kind.Compute ~n_inputs ~n_outputs:1
+    ~behavior:{ state = []; body = [ Output (0, expr) ] }
+    ~cost:Cost.predefined ()
+
+let not_gate = combinational "not" ~n_inputs:1 (not_ (input 0))
+let and2 = combinational "and2" ~n_inputs:2 (input 0 &&& input 1)
+let or2 = combinational "or2" ~n_inputs:2 (input 0 ||| input 1)
+let xor2 = combinational "xor2" ~n_inputs:2 (Binop (Xor, input 0, input 1))
+let nand2 = combinational "nand2" ~n_inputs:2 (not_ (input 0 &&& input 1))
+let nor2 = combinational "nor2" ~n_inputs:2 (not_ (input 0 ||| input 1))
+let and3 =
+  combinational "and3" ~n_inputs:3 (input 0 &&& input 1 &&& input 2)
+let or3 = combinational "or3" ~n_inputs:3 (input 0 ||| input 1 ||| input 2)
+
+let splitter2 =
+  Descriptor.make ~name:"splitter2" ~kind:Kind.Compute ~n_inputs:1
+    ~n_outputs:2
+    ~behavior:{ state = []; body = [ Output (0, input 0); Output (1, input 0) ] }
+    ~cost:Cost.predefined ()
+
+(* [table_expr arity table] selects bit [sum 2^k * in_k] of [table], with
+   input 0 the most significant selector, as a nest of conditionals. *)
+let table_expr arity table =
+  let rec build index row =
+    if index >= arity then bool_ ((table lsr row) land 1 = 1)
+    else
+      If_expr (input index,
+               build (index + 1) ((row lsl 1) lor 1),
+               build (index + 1) (row lsl 1))
+  in
+  build 0 0
+
+let truth_table2 ~table =
+  if table < 0 || table > 15 then
+    invalid_arg "Catalog.truth_table2: table out of range";
+  combinational (Printf.sprintf "tt2(%d)" table) ~n_inputs:2
+    (table_expr 2 table)
+
+let truth_table3 ~table =
+  if table < 0 || table > 255 then
+    invalid_arg "Catalog.truth_table3: table out of range";
+  combinational (Printf.sprintf "tt3(%d)" table) ~n_inputs:3
+    (table_expr 3 table)
+
+let sequential name ~n_inputs ~state body =
+  Descriptor.make ~name ~kind:Kind.Compute ~n_inputs ~n_outputs:1
+    ~behavior:{ state; body } ~cost:Cost.predefined ()
+
+let rising_edge = input 0 &&& not_ (var "prev")
+let falling_edge = not_ (input 0) &&& var "prev"
+let track_prev = Assign ("prev", input 0)
+
+let toggle =
+  sequential "toggle" ~n_inputs:1
+    ~state:[ ("prev", Bool false); ("q", Bool false) ]
+    [
+      If (rising_edge, [ Assign ("q", not_ (var "q")) ], []);
+      track_prev;
+      Output (0, var "q");
+    ]
+
+let trip_latch =
+  sequential "trip" ~n_inputs:1
+    ~state:[ ("t", Bool false) ]
+    [
+      If (input 0, [ Assign ("t", bool_ true) ], []);
+      Output (0, var "t");
+    ]
+
+let trip_reset =
+  sequential "trip_reset" ~n_inputs:2
+    ~state:[ ("t", Bool false) ]
+    [
+      If (input 1,
+          [ Assign ("t", bool_ false) ],
+          [ If (input 0, [ Assign ("t", bool_ true) ], []) ]);
+      Output (0, var "t");
+    ]
+
+let pulse_gen ~width =
+  if width <= 0 then invalid_arg "Catalog.pulse_gen: width must be positive";
+  sequential (Printf.sprintf "pulse_gen(%d)" width) ~n_inputs:1
+    ~state:[ ("prev", Bool false) ]
+    [
+      If (rising_edge,
+          [ Output (0, bool_ true); Set_timer (0, int_ width) ], []);
+      If (Timer_fired 0, [ Output (0, bool_ false) ], []);
+      track_prev;
+    ]
+
+let delay ~ticks =
+  if ticks <= 0 then invalid_arg "Catalog.delay: ticks must be positive";
+  sequential (Printf.sprintf "delay(%d)" ticks) ~n_inputs:1
+    ~state:[ ("prev", Bool false); ("pend", Bool false) ]
+    [
+      If (Binop (Ne, input 0, var "prev"),
+          [
+            Assign ("prev", input 0);
+            Assign ("pend", input 0);
+            Set_timer (0, int_ ticks);
+          ],
+          []);
+      If (Timer_fired 0, [ Output (0, var "pend") ], []);
+    ]
+
+let prolong ~ticks =
+  if ticks <= 0 then invalid_arg "Catalog.prolong: ticks must be positive";
+  sequential (Printf.sprintf "prolong(%d)" ticks) ~n_inputs:1
+    ~state:[ ("prev", Bool false) ]
+    [
+      If (rising_edge, [ Output (0, bool_ true); Cancel_timer 0 ], []);
+      If (falling_edge, [ Set_timer (0, int_ ticks) ], []);
+      If (Timer_fired 0, [ Output (0, bool_ false) ], []);
+      track_prev;
+    ]
+
+let blinker ~period =
+  if period <= 0 then invalid_arg "Catalog.blinker: period must be positive";
+  sequential (Printf.sprintf "blinker(%d)" period) ~n_inputs:1
+    ~state:[ ("prev", Bool false); ("phase", Bool false) ]
+    [
+      If (rising_edge,
+          [
+            Assign ("phase", bool_ true);
+            Output (0, bool_ true);
+            Set_timer (0, int_ period);
+          ],
+          []);
+      If (falling_edge,
+          [ Output (0, bool_ false); Cancel_timer 0 ], []);
+      If (Timer_fired 0 &&& input 0,
+          [
+            Assign ("phase", not_ (var "phase"));
+            Output (0, var "phase");
+            Set_timer (0, int_ period);
+          ],
+          []);
+      track_prev;
+    ]
+
+let programmable ~n_inputs ~n_outputs ?name ?output_init program =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "prog%dx%d" n_inputs n_outputs
+  in
+  Descriptor.make ~name ~kind:Kind.Programmable ~n_inputs ~n_outputs
+    ~behavior:program ?output_init ~cost:Cost.programmable ()
+
+let define ~name ?(kind = Kind.Compute) ~n_inputs ~n_outputs ?cost
+    ?output_init source =
+  let cost = match cost with Some c -> c | None -> Cost.of_kind kind in
+  Descriptor.make ~name ~kind ~n_inputs ~n_outputs
+    ~behavior:(Behavior.Parse.program source) ?output_init ~cost ()
+
+let all_fixed =
+  [
+    button; contact_switch; motion_sensor; light_sensor; sound_sensor;
+    magnet_sensor; led; buzzer; relay; wireless_tx; wireless_rx; x10_link;
+    not_gate; and2; or2; xor2; nand2; nor2; and3; or3; splitter2; toggle;
+    trip_latch; trip_reset;
+  ]
+
+(* Parameterised names look like "family(arg)". *)
+let parse_parameterised name =
+  match String.index_opt name '(' with
+  | None -> None
+  | Some open_paren ->
+    let len = String.length name in
+    if len = 0 || name.[len - 1] <> ')' then None
+    else
+      let family = String.sub name 0 open_paren in
+      let arg = String.sub name (open_paren + 1) (len - open_paren - 2) in
+      (match int_of_string_opt arg with
+       | None -> None
+       | Some n -> Some (family, n))
+
+let of_name name =
+  match List.find_opt (fun d -> String.equal d.Descriptor.name name) all_fixed with
+  | Some d -> Some d
+  | None ->
+    (match parse_parameterised name with
+     | Some ("tt2", n) when n >= 0 && n <= 15 -> Some (truth_table2 ~table:n)
+     | Some ("tt3", n) when n >= 0 && n <= 255 -> Some (truth_table3 ~table:n)
+     | Some ("pulse_gen", n) when n > 0 -> Some (pulse_gen ~width:n)
+     | Some ("delay", n) when n > 0 -> Some (delay ~ticks:n)
+     | Some ("prolong", n) when n > 0 -> Some (prolong ~ticks:n)
+     | Some ("blinker", n) when n > 0 -> Some (blinker ~period:n)
+     | Some _ | None -> None)

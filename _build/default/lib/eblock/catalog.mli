@@ -1,0 +1,129 @@
+(** The pre-defined eBlock catalogue.
+
+    Mirrors the block families of §2: sensor blocks, output blocks,
+    communication blocks, and compute blocks — "combinational functions,
+    such as a two or three input truth table, AND, OR, and NOT, and basic
+    sequential functions, like a toggle, trip, pulse generate, and delay".
+
+    Parameterised blocks ([truth_table2 ~table:6], [delay ~ticks:10], ...)
+    encode their parameter in the descriptor name, e.g. ["tt2(6)"],
+    ["delay(10)"], so any catalogue block round-trips through the textual
+    netlist format via {!of_name}. *)
+
+(** {1 Sensor blocks} — 0 inputs, 1 boolean output *)
+
+val button : Descriptor.t
+val contact_switch : Descriptor.t
+val motion_sensor : Descriptor.t
+val light_sensor : Descriptor.t
+val sound_sensor : Descriptor.t
+val magnet_sensor : Descriptor.t
+
+(** {1 Output blocks} — 1 input, 0 outputs *)
+
+val led : Descriptor.t
+val buzzer : Descriptor.t
+val relay : Descriptor.t
+
+(** {1 Communication blocks} — inner but not partitionable *)
+
+val wireless_tx : Descriptor.t
+(** 1-in/1-out identity forwarder. *)
+
+val wireless_rx : Descriptor.t
+val x10_link : Descriptor.t
+
+(** {1 Combinational compute blocks} *)
+
+val not_gate : Descriptor.t
+val and2 : Descriptor.t
+val or2 : Descriptor.t
+val xor2 : Descriptor.t
+val nand2 : Descriptor.t
+val nor2 : Descriptor.t
+val and3 : Descriptor.t
+val or3 : Descriptor.t
+val splitter2 : Descriptor.t
+(** 1 input duplicated onto 2 outputs. *)
+
+val truth_table2 : table:int -> Descriptor.t
+(** The "2-input logic" yes/no block: [table] is a 4-bit function table;
+    bit [2*a + b] (counting from bit 0) is the output for inputs [(a, b)].
+    Raises [Invalid_argument] unless [0 <= table < 16]. *)
+
+val truth_table3 : table:int -> Descriptor.t
+(** 3-input truth table; [table] is an 8-bit function table with bit
+    [4*a + 2*b + c] the output for inputs [(a, b, c)].
+    Raises [Invalid_argument] unless [0 <= table < 256]. *)
+
+(** {1 Sequential compute blocks} *)
+
+val toggle : Descriptor.t
+(** Output flips on each rising edge of the input. *)
+
+val trip_latch : Descriptor.t
+(** Output latches true the first time the input goes true. *)
+
+val trip_reset : Descriptor.t
+(** 2 inputs: trip signal and reset; reset has priority. *)
+
+val pulse_gen : width:int -> Descriptor.t
+(** On a rising edge, emits a pulse of [width] ticks. *)
+
+val delay : ticks:int -> Descriptor.t
+(** Inertial delay: the latest input change appears on the output [ticks]
+    later; changes within the window supersede earlier ones. *)
+
+val prolong : ticks:int -> Descriptor.t
+(** Output follows the input but stays true [ticks] after a falling
+    edge. *)
+
+val blinker : period:int -> Descriptor.t
+(** While the input is true the output oscillates with the given
+    half-period. *)
+
+(** {1 Programmable block} *)
+
+val programmable :
+  n_inputs:int ->
+  n_outputs:int ->
+  ?name:string ->
+  ?output_init:Behavior.Ast.value array ->
+  Behavior.Ast.program ->
+  Descriptor.t
+(** A programmable compute block loaded with the given (typically merged)
+    program.  The default name encodes the shape, e.g. ["prog2x2"]. *)
+
+(** {1 User-defined blocks} *)
+
+val define :
+  name:string ->
+  ?kind:Kind.t ->
+  n_inputs:int ->
+  n_outputs:int ->
+  ?cost:float ->
+  ?output_init:Behavior.Ast.value array ->
+  string ->
+  Descriptor.t
+(** Define a block from behaviour-language source (see {!Behavior.Parse}),
+    e.g.
+
+    {[
+      Catalog.define ~name:"majority3" ~n_inputs:3 ~n_outputs:1
+        "out[0] = (in[0] && in[1]) || (in[0] && in[2]) || (in[1] && in[2]);"
+    ]}
+
+    [kind] defaults to [Compute]; [cost] defaults to the kind's catalogue
+    cost.  Raises [Behavior.Parse.Syntax_error] on malformed source and
+    [Descriptor.Invalid_descriptor] if the behaviour does not fit the
+    declared arities. *)
+
+(** {1 Registry} *)
+
+val all_fixed : Descriptor.t list
+(** Every non-parameterised catalogue block, for iteration in tests. *)
+
+val of_name : string -> Descriptor.t option
+(** Look up (or, for parameterised names such as ["delay(10)"] or
+    ["tt2(6)"], construct) the catalogue block with the given name.
+    Returns [None] for unknown names or out-of-range parameters. *)

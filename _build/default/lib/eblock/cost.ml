@@ -1,0 +1,12 @@
+let predefined = 1.0
+let programmable = 1.5
+let sensor = 1.0
+let output = 1.0
+let comm = 2.0
+
+let of_kind = function
+  | Kind.Sensor -> sensor
+  | Kind.Output -> output
+  | Kind.Compute -> predefined
+  | Kind.Comm -> comm
+  | Kind.Programmable -> programmable

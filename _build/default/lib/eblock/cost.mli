@@ -1,0 +1,20 @@
+(** Block cost model (§4 of the paper).
+
+    Pre-defined compute blocks "have identical internal components and thus
+    have equal cost".  A programmable block costs slightly more "due to the
+    programmability hardware, but less than two pre-defined compute
+    blocks" — which is exactly why replacing a single block is never
+    worthwhile while replacing two or more always is. *)
+
+val predefined : float
+(** Cost of any pre-defined compute block (the unit of cost). *)
+
+val programmable : float
+(** Cost of a programmable compute block; satisfies
+    [predefined < programmable < 2 *. predefined]. *)
+
+val sensor : float
+val output : float
+val comm : float
+
+val of_kind : Kind.t -> float

@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  kind : Kind.t;
+  n_inputs : int;
+  n_outputs : int;
+  behavior : Behavior.Ast.program;
+  output_init : Behavior.Ast.value array;
+  cost : float;
+}
+
+exception Invalid_descriptor of string
+
+let error fmt =
+  Format.kasprintf (fun msg -> raise (Invalid_descriptor msg)) fmt
+
+let make ~name ~kind ~n_inputs ~n_outputs ?behavior ?output_init ~cost () =
+  let behavior =
+    match behavior with Some b -> b | None -> Behavior.Ast.empty
+  in
+  let output_init =
+    match output_init with
+    | Some a -> a
+    | None -> Array.make n_outputs (Behavior.Ast.Bool false)
+  in
+  if n_inputs < 0 || n_outputs < 0 then
+    error "%s: negative port arity" name;
+  if Array.length output_init <> n_outputs then
+    error "%s: output_init has %d entries for %d outputs"
+      name (Array.length output_init) n_outputs;
+  if Behavior.Ast.max_input_index behavior >= n_inputs then
+    error "%s: behaviour reads input port %d but the block has %d inputs"
+      name (Behavior.Ast.max_input_index behavior) n_inputs;
+  if Behavior.Ast.max_output_index behavior >= n_outputs then
+    error "%s: behaviour writes output port %d but the block has %d outputs"
+      name (Behavior.Ast.max_output_index behavior) n_outputs;
+  (match Behavior.Ast.free_variables behavior with
+   | [] -> ()
+   | name' :: _ -> error "%s: behaviour reads undefined variable %s"
+                     name name');
+  if cost < 0. then error "%s: negative cost" name;
+  { name; kind; n_inputs; n_outputs; behavior; output_init; cost }
+
+let equal a b = String.equal a.name b.name
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%a(%d->%d)" d.name Kind.pp d.kind
+    d.n_inputs d.n_outputs

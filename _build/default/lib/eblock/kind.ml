@@ -1,0 +1,29 @@
+type t =
+  | Sensor
+  | Output
+  | Compute
+  | Comm
+  | Programmable
+
+let equal a b =
+  match a, b with
+  | Sensor, Sensor | Output, Output | Compute, Compute
+  | Comm, Comm | Programmable, Programmable -> true
+  | (Sensor | Output | Compute | Comm | Programmable), _ -> false
+
+let to_string = function
+  | Sensor -> "sensor"
+  | Output -> "output"
+  | Compute -> "compute"
+  | Comm -> "comm"
+  | Programmable -> "programmable"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let is_inner = function
+  | Compute | Comm | Programmable -> true
+  | Sensor | Output -> false
+
+let partitionable = function
+  | Compute -> true
+  | Sensor | Output | Comm | Programmable -> false

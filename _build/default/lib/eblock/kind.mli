@@ -1,0 +1,24 @@
+(** The four eBlock classes of the paper (§2), plus the programmable
+    compute block that synthesis introduces. *)
+
+type t =
+  | Sensor        (** detects environmental stimuli; a primary input *)
+  | Output        (** interacts with the environment; a primary output *)
+  | Compute       (** pre-defined combinational or sequential function *)
+  | Comm          (** communication block (wireless, X10, ...) *)
+  | Programmable  (** programmable compute block produced by synthesis *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_inner : t -> bool
+(** Inner nodes are the non-primary-input, non-primary-output nodes the
+    partitioner works on: compute, communication, and programmable
+    blocks. *)
+
+val partitionable : t -> bool
+(** Only pre-defined compute blocks may be absorbed into a programmable
+    block.  Communication blocks have physical radio/power-line hardware a
+    programmable block cannot provide, and programmable blocks are already
+    the result of synthesis. *)

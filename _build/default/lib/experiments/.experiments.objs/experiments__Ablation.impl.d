@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Core List Netlist Printf Prng Randgen Report

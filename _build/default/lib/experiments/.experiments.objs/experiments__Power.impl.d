@@ -1,0 +1,1 @@
+lib/experiments/power.ml: Behavior Codegen Designs List Netlist Printf Prng Report Sim

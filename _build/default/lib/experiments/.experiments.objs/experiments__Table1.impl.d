@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Core Designs List Netlist Option Printf Report

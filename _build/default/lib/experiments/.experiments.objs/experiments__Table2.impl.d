@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Core List Netlist Option Printf Prng Randgen Report

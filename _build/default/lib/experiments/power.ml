@@ -1,0 +1,60 @@
+module Graph = Netlist.Graph
+
+type row = {
+  design : string;
+  inner_before : int;
+  inner_after : int;
+  packets_before : int;
+  packets_after : int;
+  packets_saved_percent : float;
+}
+
+let packets_under g script =
+  let engine = Sim.Engine.create g in
+  let (_ : (int * (Netlist.Node_id.t * Behavior.Ast.value) list) list) =
+    Sim.Stimulus.settled_outputs engine script
+  in
+  Sim.Engine.packet_count engine
+
+let run_design ?(seed = 23) ?(steps = 200) design =
+  let g = design.Designs.Design.network in
+  let result, _ = Codegen.Replace.synthesize g in
+  let g' = result.Codegen.Replace.network in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create seed) ~sensors:(Graph.sensors g)
+      ~steps ~spacing:25
+  in
+  let packets_before = packets_under g script in
+  let packets_after = packets_under g' script in
+  {
+    design = design.Designs.Design.name;
+    inner_before = Graph.inner_count g;
+    inner_after = Graph.inner_count g';
+    packets_before;
+    packets_after;
+    packets_saved_percent =
+      (if packets_before = 0 then 0.
+       else
+         100.
+         *. float_of_int (packets_before - packets_after)
+         /. float_of_int packets_before);
+  }
+
+let run ?seed ?steps () =
+  List.map (run_design ?seed ?steps) Designs.Library.all
+
+let to_table rows =
+  let headers =
+    [ "Design"; "Inner"; "Inner'"; "Packets"; "Packets'"; "Saved" ]
+  in
+  let cells r =
+    [
+      r.design;
+      string_of_int r.inner_before;
+      string_of_int r.inner_after;
+      string_of_int r.packets_before;
+      string_of_int r.packets_after;
+      Printf.sprintf "%.0f %%" r.packets_saved_percent;
+    ]
+  in
+  Report.Table.render ~headers ~rows:(List.map cells rows) ()

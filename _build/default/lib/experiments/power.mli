@@ -1,0 +1,27 @@
+(** Communication-energy proxy: packets transmitted before and after
+    synthesis.
+
+    The paper motivates synthesis with "reducing network size and hence
+    network cost and power" (§1) but only quantifies size.  Each packet is
+    a serial transmission on a physical connection, so counting packets
+    under a common stimulus quantifies the power claim too: connections
+    that become variables inside a programmable block stop transmitting
+    altogether. *)
+
+type row = {
+  design : string;
+  inner_before : int;
+  inner_after : int;
+  packets_before : int;
+  packets_after : int;
+  packets_saved_percent : float;
+}
+
+val run_design : ?seed:int -> ?steps:int -> Designs.Design.t -> row
+(** Synthesise with PareDown, drive both networks with the same random
+    script, and compare packet counts at quiescence. *)
+
+val run : ?seed:int -> ?steps:int -> unit -> row list
+(** Every library design (Table 1 plus the motivating applications). *)
+
+val to_table : row list -> string

@@ -1,0 +1,46 @@
+type point = {
+  inner : int;
+  seconds : float;
+  fit_checks : int;
+  total : int;
+  prog : int;
+}
+
+let measure g =
+  let result, seconds = Report.Timing.time (fun () -> Core.Paredown.run g) in
+  let sol = result.Core.Paredown.solution in
+  {
+    inner = Netlist.Graph.inner_count g;
+    seconds;
+    fit_checks = result.Core.Paredown.stats.Core.Paredown.fit_checks;
+    total = Core.Solution.total_inner_after g sol;
+    prog = Core.Solution.programmable_count sol;
+  }
+
+let run_random ?(seed = 465) ?(sizes = [ 50; 100; 200; 465 ]) () =
+  let rng = Prng.create seed in
+  List.map
+    (fun inner ->
+      measure (Randgen.Generator.generate ~rng:(Prng.split rng) ~inner ()))
+    sizes
+
+let run_worst_case ?(sizes = [ 10; 20; 40; 80 ]) () =
+  List.map
+    (fun inner -> measure (Randgen.Generator.worst_case ~inner))
+    sizes
+
+let to_table points =
+  let headers = [ "Inner"; "Time"; "Fit checks"; "Total"; "Prog" ] in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.inner;
+          Report.Timing.format_seconds p.seconds;
+          string_of_int p.fit_checks;
+          string_of_int p.total;
+          string_of_int p.prog;
+        ])
+      points
+  in
+  Report.Table.render ~headers ~rows ()

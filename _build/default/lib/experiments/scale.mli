@@ -1,0 +1,23 @@
+(** The §5.2 scalability claims: PareDown handles a 465-inner-node design
+    in seconds, and its main-loop iteration count grows as n·(n+1)/2 on
+    the adversarial worst-case family. *)
+
+type point = {
+  inner : int;
+  seconds : float;
+  fit_checks : int;
+  total : int;
+  prog : int;
+}
+
+val run_random :
+  ?seed:int -> ?sizes:int list -> unit -> point list
+(** PareDown on one random design per size; default sizes
+    [50; 100; 200; 465]. *)
+
+val run_worst_case : ?sizes:int list -> unit -> point list
+(** PareDown on the worst-case family; [fit_checks] equals n·(n+1)/2
+    exactly (candidate k performs k fit tests before isolating a single
+    block). *)
+
+val to_table : point list -> string

@@ -1,0 +1,124 @@
+module Graph = Netlist.Graph
+
+type algorithm_result = {
+  total : int;
+  prog : int;
+  seconds : float;
+}
+
+type row = {
+  design : Designs.Design.t;
+  inner_original : int;
+  exhaustive : algorithm_result option;
+  paredown : algorithm_result;
+  block_overhead : int option;
+  percent_overhead : float option;
+}
+
+type config = {
+  exhaustive_cutoff : int;
+  exhaustive_deadline_s : float;
+  timing_repeats : int;
+}
+
+let default_config = {
+  exhaustive_cutoff = 11;
+  exhaustive_deadline_s = 60.0;
+  timing_repeats = 3;
+}
+
+let measure_paredown ~config g =
+  let result, seconds =
+    Report.Timing.time_best_of ~repeats:config.timing_repeats (fun () ->
+        Core.Paredown.run g)
+  in
+  let sol = result.Core.Paredown.solution in
+  {
+    total = Core.Solution.total_inner_after g sol;
+    prog = Core.Solution.programmable_count sol;
+    seconds;
+  }
+
+let measure_exhaustive ~config g =
+  if Graph.inner_count g > config.exhaustive_cutoff then None
+  else begin
+    let result, seconds =
+      Report.Timing.time (fun () ->
+          Core.Exhaustive.run ~deadline_s:config.exhaustive_deadline_s g)
+    in
+    match result.Core.Exhaustive.outcome with
+    | Core.Exhaustive.Timed_out -> None
+    | Core.Exhaustive.Optimal ->
+      let sol = result.Core.Exhaustive.solution in
+      Some
+        {
+          total = Core.Solution.total_inner_after g sol;
+          prog = Core.Solution.programmable_count sol;
+          seconds;
+        }
+  end
+
+let run_design ?(config = default_config) design =
+  let g = design.Designs.Design.network in
+  let paredown = measure_paredown ~config g in
+  let exhaustive = measure_exhaustive ~config g in
+  let block_overhead =
+    Option.map (fun e -> paredown.total - e.total) exhaustive
+  in
+  let percent_overhead =
+    Option.map
+      (fun e ->
+        Report.Stats.percent_increase ~baseline:(float_of_int e.total)
+          (float_of_int paredown.total))
+      exhaustive
+  in
+  {
+    design;
+    inner_original = Graph.inner_count g;
+    exhaustive;
+    paredown;
+    block_overhead;
+    percent_overhead;
+  }
+
+let run ?config () = List.map (run_design ?config) Designs.Library.table1
+
+let headers =
+  [
+    "Inner"; "Design Name"; "Exh Total"; "Exh Prog"; "Exh Time";
+    "PD Total"; "PD Prog"; "PD Time"; "Overhead"; "% Overhead";
+    "Paper (PD)";
+  ]
+
+let dash = "--"
+
+let row_cells r =
+  let exh f = match r.exhaustive with Some e -> f e | None -> dash in
+  let paper =
+    match r.design.Designs.Design.paper with
+    | Some p ->
+      Printf.sprintf "%d/%d" p.Designs.Design.paredown_total p.Designs.Design.paredown_prog
+    | None -> dash
+  in
+  [
+    string_of_int r.inner_original;
+    r.design.Designs.Design.name;
+    exh (fun e -> string_of_int e.total);
+    exh (fun e -> string_of_int e.prog);
+    exh (fun e -> Report.Timing.format_seconds e.seconds);
+    string_of_int r.paredown.total;
+    string_of_int r.paredown.prog;
+    Report.Timing.format_seconds r.paredown.seconds;
+    (match r.block_overhead with Some o -> string_of_int o | None -> dash);
+    (match r.percent_overhead with
+     | Some p -> Printf.sprintf "%.0f %%" p
+     | None -> dash);
+    paper;
+  ]
+
+let to_table rows =
+  let aligns = Report.Table.[ Right; Left ] in
+  Report.Table.render ~aligns ~headers ~rows:(List.map row_cells rows) ()
+
+let to_csv rows =
+  Report.Table.render_csv ~headers ~rows:(List.map row_cells rows)

@@ -1,0 +1,43 @@
+(** Regenerates Table 1: exhaustive search vs PareDown on the 15 library
+    designs. *)
+
+module Graph = Netlist.Graph
+
+type algorithm_result = {
+  total : int;   (** Inner Blocks (Total) after partitioning *)
+  prog : int;    (** Inner Blocks (Prog.) *)
+  seconds : float;
+}
+
+type row = {
+  design : Designs.Design.t;
+  inner_original : int;
+  exhaustive : algorithm_result option;
+      (** [None] when the design exceeds the exhaustive cutoff or the
+          search timed out — the paper's "--" *)
+  paredown : algorithm_result;
+  block_overhead : int option;  (** paredown.total - exhaustive.total *)
+  percent_overhead : float option;
+}
+
+type config = {
+  exhaustive_cutoff : int;
+      (** largest inner-block count attempted exhaustively *)
+  exhaustive_deadline_s : float;
+  timing_repeats : int;
+      (** best-of repeats for the sub-millisecond PareDown timings *)
+}
+
+val default_config : config
+(** cutoff 11, deadline 60 s, 3 repeats. *)
+
+val run_design : ?config:config -> Designs.Design.t -> row
+
+val run : ?config:config -> unit -> row list
+(** All 15 designs in table order. *)
+
+val to_table : row list -> string
+(** Rendered like the paper's Table 1, with a paper-vs-measured suffix
+    column. *)
+
+val to_csv : row list -> string

@@ -1,0 +1,174 @@
+type bucket = {
+  inner : int;
+  count : int;
+  exhaustive_count : int;
+  exh_total_mean : float option;
+  exh_prog_mean : float option;
+  exh_seconds_mean : float option;
+  pd_total_mean : float;
+  pd_prog_mean : float;
+  pd_seconds_mean : float;
+  block_overhead_mean : float option;
+  percent_overhead : float option;
+}
+
+type config = {
+  seed : int;
+  sizes : (int * int) list;
+  exhaustive_cutoff : int;
+  exhaustive_deadline_s : float;
+  profile : Randgen.Generator.profile;
+}
+
+let paper_sizes =
+  [
+    (3, 1531); (4, 982); (5, 542); (6, 432); (7, 447); (8, 350); (9, 340);
+    (10, 199); (11, 170); (12, 31); (13, 6); (14, 1311); (15, 1184);
+    (20, 928); (25, 691); (35, 354); (45, 165);
+  ]
+
+let default_config = {
+  seed = 2005;  (* the venue year; any fixed seed works *)
+  sizes =
+    [
+      (3, 150); (4, 150); (5, 120); (6, 100); (7, 80); (8, 60); (9, 40);
+      (10, 25); (11, 12); (12, 4); (13, 2); (14, 150); (15, 120); (20, 100);
+      (25, 80); (35, 40); (45, 20);
+    ];
+  exhaustive_cutoff = 13;
+  exhaustive_deadline_s = 20.0;
+  profile = Randgen.Generator.default_profile;
+}
+
+type sample = {
+  s_pd_total : int;
+  s_pd_prog : int;
+  s_pd_seconds : float;
+  s_exh : (int * int * float) option;  (* total, prog, seconds *)
+}
+
+let measure ~config g =
+  let pd_result, s_pd_seconds =
+    Report.Timing.time (fun () -> Core.Paredown.run g)
+  in
+  let pd_sol = pd_result.Core.Paredown.solution in
+  let s_exh =
+    if Netlist.Graph.inner_count g > config.exhaustive_cutoff then None
+    else begin
+      let exh, seconds =
+        Report.Timing.time (fun () ->
+            Core.Exhaustive.run ~deadline_s:config.exhaustive_deadline_s g)
+      in
+      match exh.Core.Exhaustive.outcome with
+      | Core.Exhaustive.Timed_out -> None
+      | Core.Exhaustive.Optimal ->
+        let sol = exh.Core.Exhaustive.solution in
+        Some
+          ( Core.Solution.total_inner_after g sol,
+            Core.Solution.programmable_count sol,
+            seconds )
+    end
+  in
+  {
+    s_pd_total = Core.Solution.total_inner_after g pd_sol;
+    s_pd_prog = Core.Solution.programmable_count pd_sol;
+    s_pd_seconds;
+    s_exh;
+  }
+
+let run_bucket ?(config = default_config) ~rng ~inner ~count () =
+  let samples =
+    List.init count (fun _ ->
+        let g =
+          Randgen.Generator.generate ~profile:config.profile
+            ~rng:(Prng.split rng) ~inner ()
+        in
+        measure ~config g)
+  in
+  let with_exh = List.filter (fun s -> s.s_exh <> None) samples in
+  let exh_field f =
+    match with_exh with
+    | [] -> None
+    | _ ->
+      Some
+        (Report.Stats.mean
+           (List.filter_map
+              (fun s -> Option.map f s.s_exh)
+              with_exh))
+  in
+  let exh_total_mean = exh_field (fun (t, _, _) -> float_of_int t) in
+  (* Overheads compare PareDown to exhaustive on the same designs only. *)
+  let block_overhead_mean =
+    match with_exh with
+    | [] -> None
+    | _ ->
+      Some
+        (Report.Stats.mean
+           (List.filter_map
+              (fun s ->
+                Option.map
+                  (fun (t, _, _) -> float_of_int (s.s_pd_total - t))
+                  s.s_exh)
+              with_exh))
+  in
+  let percent_overhead =
+    match exh_total_mean, with_exh with
+    | Some baseline, _ :: _ when baseline > 0. ->
+      let pd_on_same =
+        Report.Stats.mean
+          (List.map (fun s -> float_of_int s.s_pd_total) with_exh)
+      in
+      Some (Report.Stats.percent_increase ~baseline pd_on_same)
+    | _ -> None
+  in
+  {
+    inner;
+    count;
+    exhaustive_count = List.length with_exh;
+    exh_total_mean;
+    exh_prog_mean = exh_field (fun (_, p, _) -> float_of_int p);
+    exh_seconds_mean = exh_field (fun (_, _, s) -> s);
+    pd_total_mean =
+      Report.Stats.mean_int (List.map (fun s -> s.s_pd_total) samples);
+    pd_prog_mean =
+      Report.Stats.mean_int (List.map (fun s -> s.s_pd_prog) samples);
+    pd_seconds_mean =
+      Report.Stats.mean (List.map (fun s -> s.s_pd_seconds) samples);
+    block_overhead_mean;
+    percent_overhead;
+  }
+
+let run ?(config = default_config) () =
+  let rng = Prng.create config.seed in
+  List.map
+    (fun (inner, count) -> run_bucket ~config ~rng ~inner ~count ())
+    config.sizes
+
+let headers =
+  [
+    "Inner"; "Designs"; "Exh Total"; "Exh Prog"; "Exh Time"; "PD Total";
+    "PD Prog"; "PD Time"; "Overhead"; "% Overhead";
+  ]
+
+let dash = "--"
+
+let row_cells b =
+  let opt fmt = function Some v -> fmt v | None -> dash in
+  [
+    string_of_int b.inner;
+    string_of_int b.count;
+    opt (Printf.sprintf "%.2f") b.exh_total_mean;
+    opt (Printf.sprintf "%.2f") b.exh_prog_mean;
+    opt Report.Timing.format_seconds b.exh_seconds_mean;
+    Printf.sprintf "%.2f" b.pd_total_mean;
+    Printf.sprintf "%.2f" b.pd_prog_mean;
+    Report.Timing.format_seconds b.pd_seconds_mean;
+    opt (Printf.sprintf "%.2f") b.block_overhead_mean;
+    opt (Printf.sprintf "%.0f %%") b.percent_overhead;
+  ]
+
+let to_table buckets =
+  Report.Table.render ~headers ~rows:(List.map row_cells buckets) ()
+
+let to_csv buckets =
+  Report.Table.render_csv ~headers ~rows:(List.map row_cells buckets)

@@ -1,0 +1,48 @@
+(** Regenerates Table 2: exhaustive vs PareDown averages over randomly
+    generated designs of each inner-block size.
+
+    The paper ran ~9 300 random designs across sizes 3–45, with exhaustive
+    data up to 13 inner blocks.  Design counts per bucket are configurable;
+    the defaults are scaled down so the whole table regenerates in minutes
+    rather than the paper's multi-hour runs, without changing the shape of
+    the results. *)
+
+type bucket = {
+  inner : int;
+  count : int;  (** designs generated and measured *)
+  exhaustive_count : int;
+      (** designs for which the exhaustive search finished in budget *)
+  exh_total_mean : float option;
+  exh_prog_mean : float option;
+  exh_seconds_mean : float option;
+  pd_total_mean : float;
+  pd_prog_mean : float;
+  pd_seconds_mean : float;
+  block_overhead_mean : float option;
+      (** mean over per-design (pd_total - exh_total) *)
+  percent_overhead : float option;
+      (** percent increase of mean pd_total over mean exh_total *)
+}
+
+type config = {
+  seed : int;
+  sizes : (int * int) list;  (** (inner size, number of designs) *)
+  exhaustive_cutoff : int;
+  exhaustive_deadline_s : float;
+  profile : Randgen.Generator.profile;
+}
+
+val default_config : config
+(** Sizes 3–13 with exhaustive comparison, then 14–45 PareDown-only,
+    mirroring the paper's buckets with reduced counts. *)
+
+val paper_sizes : (int * int) list
+(** The paper's buckets and design counts (9 319 designs total). *)
+
+val run_bucket :
+  ?config:config -> rng:Prng.t -> inner:int -> count:int -> unit -> bucket
+
+val run : ?config:config -> unit -> bucket list
+
+val to_table : bucket list -> string
+val to_csv : bucket list -> string

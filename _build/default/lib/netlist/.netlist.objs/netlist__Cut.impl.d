@@ -1,0 +1,1 @@
+lib/netlist/cut.ml: Graph List Node_id

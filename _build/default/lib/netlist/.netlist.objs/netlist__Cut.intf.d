@@ -1,0 +1,1 @@
+lib/netlist/cut.mli: Graph Node_id

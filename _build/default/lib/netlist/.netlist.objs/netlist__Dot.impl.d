@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Buffer Eblock Fun Graph List Node_id Printf String

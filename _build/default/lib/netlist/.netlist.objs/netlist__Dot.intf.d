@@ -1,0 +1,1 @@
+lib/netlist/dot.mli: Graph Node_id

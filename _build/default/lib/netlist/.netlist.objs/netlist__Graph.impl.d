@@ -1,0 +1,1 @@
+lib/netlist/graph.ml: Descriptor Eblock Format Hashtbl Int Kind List Node_id Option

@@ -1,0 +1,1 @@
+lib/netlist/graph.mli: Eblock Format Node_id

@@ -1,0 +1,1 @@
+lib/netlist/node_id.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/netlist/node_id.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Eblock Format Graph Hashtbl List Node_id

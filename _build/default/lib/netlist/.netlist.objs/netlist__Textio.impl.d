@@ -1,0 +1,1 @@
+lib/netlist/textio.ml: Array Behavior Buffer Eblock Format Fun Graph Hashtbl List Printf String

@@ -1,0 +1,65 @@
+let in_edges g set =
+  Node_id.Set.fold
+    (fun id acc ->
+      let entering =
+        List.filter
+          (fun e -> not (Node_id.Set.mem e.Graph.src.Graph.node set))
+          (Graph.fanin g id)
+      in
+      List.rev_append entering acc)
+    set []
+  |> List.sort compare
+
+let out_edges g set =
+  Node_id.Set.fold
+    (fun id acc ->
+      let leaving =
+        List.filter
+          (fun e -> not (Node_id.Set.mem e.Graph.dst.Graph.node set))
+          (Graph.fanout g id)
+      in
+      List.rev_append leaving acc)
+    set []
+  |> List.sort compare
+
+let inputs_used g set = List.length (in_edges g set)
+let outputs_used g set = List.length (out_edges g set)
+let io_used g set = inputs_used g set + outputs_used g set
+
+let distinct_src_ports edges =
+  List.map (fun e -> e.Graph.src) edges
+  |> List.sort_uniq compare
+  |> List.length
+
+let inputs_used_nets g set = distinct_src_ports (in_edges g set)
+let outputs_used_nets g set = distinct_src_ports (out_edges g set)
+
+let is_border g set id =
+  let outside e_node = not (Node_id.Set.mem e_node set) in
+  let all_inputs_outside =
+    List.for_all (fun e -> outside e.Graph.src.Graph.node) (Graph.fanin g id)
+  in
+  let all_outputs_outside =
+    List.for_all (fun e -> outside e.Graph.dst.Graph.node) (Graph.fanout g id)
+  in
+  all_inputs_outside || all_outputs_outside
+
+let border_blocks g set =
+  List.filter (is_border g set) (Node_id.Set.elements set)
+
+(* Walk forward from the set's external successors while staying outside
+   the set; convexity fails iff the walk re-enters the set. *)
+let is_convex g set =
+  let first_outside =
+    List.map (fun e -> e.Graph.dst.Graph.node) (out_edges g set)
+    |> List.sort_uniq Node_id.compare
+  in
+  let rec walk frontier visited =
+    match frontier with
+    | [] -> true
+    | id :: rest ->
+      if Node_id.Set.mem id set then false
+      else if Node_id.Set.mem id visited then walk rest visited
+      else walk (Graph.succs g id @ rest) (Node_id.Set.add id visited)
+  in
+  walk first_outside Node_id.Set.empty

@@ -1,0 +1,68 @@
+let node_shape kind =
+  match kind with
+  | Eblock.Kind.Sensor -> "house"
+  | Eblock.Kind.Output -> "invhouse"
+  | Eblock.Kind.Compute -> "box"
+  | Eblock.Kind.Comm -> "diamond"
+  | Eblock.Kind.Programmable -> "doubleoctagon"
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_string ?(highlight = []) ?title g =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph eblocks {\n";
+  out "  rankdir=LR;\n";
+  (match title with
+   | Some t -> out "  label=\"%s\";\n" (escape t)
+   | None -> ());
+  let in_highlight id =
+    List.exists (fun set -> Node_id.Set.mem id set) highlight
+  in
+  List.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let d = n.Graph.descriptor in
+      out "  n%d [shape=%s, label=\"%d: %s\"];\n" id
+        (node_shape d.Eblock.Descriptor.kind)
+        id
+        (escape d.Eblock.Descriptor.name))
+    (List.filter (fun id -> not (in_highlight id)) (Graph.node_ids g));
+  List.iteri
+    (fun i set ->
+      out "  subgraph cluster_%d {\n" i;
+      out "    style=dashed;\n";
+      out "    label=\"partition %d\";\n" i;
+      Node_id.Set.iter
+        (fun id ->
+          let n = Graph.node g id in
+          let d = n.Graph.descriptor in
+          out "    n%d [shape=%s, label=\"%d: %s\"];\n" id
+            (node_shape d.Eblock.Descriptor.kind)
+            id
+            (escape d.Eblock.Descriptor.name))
+        set;
+      out "  }\n")
+    highlight;
+  List.iter
+    (fun e ->
+      out "  n%d -> n%d [taillabel=\"%d\", headlabel=\"%d\"];\n"
+        e.Graph.src.Graph.node e.Graph.dst.Graph.node
+        e.Graph.src.Graph.port e.Graph.dst.Graph.port)
+    (Graph.edges g);
+  out "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

@@ -1,0 +1,13 @@
+(** Graphviz export, for inspecting designs and synthesis results. *)
+
+val to_string :
+  ?highlight:Node_id.Set.t list ->
+  ?title:string ->
+  Graph.t ->
+  string
+(** Render the network as a [digraph].  Each set in [highlight] becomes a
+    dashed cluster (used to visualise candidate partitions).  Sensors are
+    drawn as houses, primary outputs as inverted houses, communication
+    blocks as diamonds, programmable blocks as double octagons. *)
+
+val write_file : string -> Graph.t -> unit

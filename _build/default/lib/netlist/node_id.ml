@@ -1,0 +1,18 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Format.pp_print_int
+let to_string = string_of_int
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list ids = Set.of_list ids
+
+let pp_set ppf set =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp)
+    (Set.elements set)

@@ -1,0 +1,15 @@
+(** Node identifiers, matching the paper's practice of numbering blocks. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit
+(** Prints as "{1, 2, 3}" in increasing order. *)

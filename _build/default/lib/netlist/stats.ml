@@ -1,0 +1,102 @@
+type t = {
+  nodes : int;
+  edges : int;
+  sensors : int;
+  primary_outputs : int;
+  inner : int;
+  compute : int;
+  comm : int;
+  programmable : int;
+  depth : int;
+  max_fanout : int;
+  max_fanin : int;
+  reconvergences : int;
+  total_cost : float;
+}
+
+(* For each node, the set of sensors it (transitively) depends on; built
+   in topological order. *)
+let sensor_ancestry g =
+  let ancestry = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      let own =
+        match Graph.kind g id with
+        | Eblock.Kind.Sensor -> Node_id.Set.singleton id
+        | Eblock.Kind.Output | Eblock.Kind.Compute | Eblock.Kind.Comm
+        | Eblock.Kind.Programmable -> Node_id.Set.empty
+      in
+      let inherited =
+        List.fold_left
+          (fun acc pred ->
+            match Hashtbl.find_opt ancestry pred with
+            | Some s -> Node_id.Set.union acc s
+            | None -> acc)
+          own (Graph.preds g id)
+      in
+      Hashtbl.replace ancestry id inherited)
+    (Graph.topological_order g);
+  ancestry
+
+let count_reconvergences g =
+  let ancestry = sensor_ancestry g in
+  let shared_ancestor id =
+    let driver_sets =
+      List.filter_map
+        (fun e ->
+          Hashtbl.find_opt ancestry e.Graph.src.Graph.node)
+        (Graph.fanin g id)
+    in
+    let rec overlapping = function
+      | [] | [ _ ] -> false
+      | s :: rest ->
+        List.exists
+          (fun s' -> not (Node_id.Set.is_empty (Node_id.Set.inter s s')))
+          rest
+        || overlapping rest
+    in
+    overlapping driver_sets
+  in
+  List.length
+    (List.filter
+       (fun id -> Graph.in_degree g id >= 2 && shared_ancestor id)
+       (Graph.node_ids g))
+
+let count_kind g kind =
+  List.length
+    (List.filter
+       (fun id -> Eblock.Kind.equal (Graph.kind g id) kind)
+       (Graph.node_ids g))
+
+let compute g =
+  let levels = Graph.levels g in
+  let depth = Node_id.Map.fold (fun _ l acc -> max l acc) levels 0 in
+  let fold_degree f =
+    List.fold_left (fun acc id -> max acc (f g id)) 0 (Graph.node_ids g)
+  in
+  {
+    nodes = Graph.node_count g;
+    edges = Graph.edge_count g;
+    sensors = List.length (Graph.sensors g);
+    primary_outputs = List.length (Graph.primary_outputs g);
+    inner = Graph.inner_count g;
+    compute = count_kind g Eblock.Kind.Compute;
+    comm = count_kind g Eblock.Kind.Comm;
+    programmable = count_kind g Eblock.Kind.Programmable;
+    depth;
+    max_fanout = fold_degree Graph.out_degree;
+    max_fanin = fold_degree Graph.in_degree;
+    reconvergences = count_reconvergences g;
+    total_cost = Graph.total_cost g;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>nodes: %d (%d sensors, %d outputs, %d inner)@,\
+     inner mix: %d compute, %d comm, %d programmable@,\
+     edges: %d, depth: %d, max fanout: %d, max fanin: %d@,\
+     reconvergent nodes: %d@,\
+     total block cost: %.1f@]"
+    s.nodes s.sensors s.primary_outputs s.inner s.compute s.comm
+    s.programmable s.edges s.depth s.max_fanout s.max_fanin
+    s.reconvergences s.total_cost

@@ -1,0 +1,29 @@
+(** Structural statistics of a network — the quantities the paper's
+    evaluation varies ("designs of varying depths (maximum block level)
+    and size") plus the structure that drives partitioning difficulty. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  sensors : int;
+  primary_outputs : int;
+  inner : int;
+  compute : int;
+  comm : int;
+  programmable : int;
+  depth : int;
+      (** maximum level over all nodes (0 for a sensors-only network) *)
+  max_fanout : int;      (** largest out-degree of any node *)
+  max_fanin : int;       (** largest in-degree of any node *)
+  reconvergences : int;
+      (** nodes with >= 2 inputs whose drivers share a common sensor
+          ancestor — the structures that make candidate pin counts shrink
+          under merging (and the ones behind timing hazards) *)
+  total_cost : float;
+}
+
+val compute : Graph.t -> t
+(** Requires an acyclic graph (levels are involved). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

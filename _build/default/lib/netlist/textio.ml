@@ -1,0 +1,249 @@
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+
+let kind_name = Eblock.Kind.to_string
+
+let value_name = Behavior.Ast.value_to_string
+
+(* Descriptors that the catalogue cannot reconstruct by name (custom and
+   programmable blocks) are emitted as defblock sections. *)
+let custom_descriptors g =
+  let by_name = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      let d = Graph.descriptor g id in
+      let name = d.Eblock.Descriptor.name in
+      if (not (Hashtbl.mem by_name name))
+         && Eblock.Catalog.of_name name = None
+      then Hashtbl.replace by_name name d)
+    (Graph.node_ids g);
+  Hashtbl.fold (fun _ d acc -> d :: acc) by_name []
+  |> List.sort (fun a b ->
+         String.compare a.Eblock.Descriptor.name b.Eblock.Descriptor.name)
+
+let emit_defblock buf (d : Eblock.Descriptor.t) =
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let default_init =
+    Array.for_all
+      (fun v -> v = Behavior.Ast.Bool false)
+      d.Eblock.Descriptor.output_init
+  in
+  out "defblock %s %s %d %d" d.Eblock.Descriptor.name
+    (kind_name d.Eblock.Descriptor.kind)
+    d.Eblock.Descriptor.n_inputs d.Eblock.Descriptor.n_outputs;
+  if not default_init then begin
+    out " init";
+    Array.iter
+      (fun v -> out " %s" (value_name v))
+      d.Eblock.Descriptor.output_init
+  end;
+  out " {\n";
+  let body =
+    Format.asprintf "%a" Behavior.Ast.pp_program d.Eblock.Descriptor.behavior
+  in
+  String.split_on_char '\n' body
+  |> List.iter (fun line -> if line <> "" then out "  %s\n" line);
+  out "}\n"
+
+let to_string ?name g =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match name with Some n -> out "network %s\n" n | None -> ());
+  List.iter (emit_defblock buf) (custom_descriptors g);
+  List.iter
+    (fun id ->
+      let n = Graph.node g id in
+      let d = n.Graph.descriptor in
+      if String.equal n.Graph.label (string_of_int id) then
+        out "node %d %s\n" id d.Eblock.Descriptor.name
+      else out "node %d %s %s\n" id d.Eblock.Descriptor.name n.Graph.label)
+    (Graph.node_ids g);
+  List.iter
+    (fun e ->
+      out "edge %d.%d %d.%d\n"
+        e.Graph.src.Graph.node e.Graph.src.Graph.port
+        e.Graph.dst.Graph.node e.Graph.dst.Graph.port)
+    (Graph.edges g);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_endpoint lineno word =
+  match String.split_on_char '.' word with
+  | [ node; port ] ->
+    (match int_of_string_opt node, int_of_string_opt port with
+     | Some node, Some port -> (node, port)
+     | _ -> parse_error lineno "malformed endpoint %S" word)
+  | _ -> parse_error lineno "malformed endpoint %S (expected id.port)" word
+
+let kind_of_name lineno = function
+  | "sensor" -> Eblock.Kind.Sensor
+  | "output" -> Eblock.Kind.Output
+  | "compute" -> Eblock.Kind.Compute
+  | "comm" -> Eblock.Kind.Comm
+  | "programmable" -> Eblock.Kind.Programmable
+  | other -> parse_error lineno "unknown block kind %S" other
+
+let value_of_name lineno = function
+  | "true" -> Behavior.Ast.Bool true
+  | "false" -> Behavior.Ast.Bool false
+  | word ->
+    (match int_of_string_opt word with
+     | Some v -> Behavior.Ast.Int v
+     | None -> parse_error lineno "malformed initial value %S" word)
+
+let int_of lineno what word =
+  match int_of_string_opt word with
+  | Some v -> v
+  | None -> parse_error lineno "malformed %s %S" what word
+
+(* defblock header: name kind nin nout [init v...] { *)
+let parse_defblock_header lineno words =
+  match words with
+  | name :: kind :: nin :: nout :: rest ->
+    let kind = kind_of_name lineno kind in
+    let n_inputs = int_of lineno "input arity" nin in
+    let n_outputs = int_of lineno "output arity" nout in
+    let output_init =
+      match rest with
+      | [ "{" ] -> None
+      | "init" :: values_and_brace ->
+        (match List.rev values_and_brace with
+         | "{" :: values_rev ->
+           Some
+             (Array.of_list
+                (List.rev_map (value_of_name lineno) values_rev))
+         | _ -> parse_error lineno "defblock header must end with '{'")
+      | _ -> parse_error lineno "defblock header must end with '{'"
+    in
+    (name, kind, n_inputs, n_outputs, output_init)
+  | _ ->
+    parse_error lineno
+      "malformed defblock (expected: defblock <name> <kind> <in> <out> \
+       [init <v>...] {)"
+
+type parser_state = {
+  mutable name : string option;
+  mutable graph : Graph.t;
+  custom : (string, Eblock.Descriptor.t) Hashtbl.t;
+  (* when inside a defblock: header info and accumulated body lines *)
+  mutable open_block :
+    (int * string * Eblock.Kind.t * int * int
+     * Behavior.Ast.value array option * Buffer.t)
+      option;
+}
+
+let strip_comment raw =
+  match String.index_opt raw '#' with
+  | Some i -> String.sub raw 0 i
+  | None -> raw
+
+let close_defblock st lineno =
+  match st.open_block with
+  | None -> parse_error lineno "'}' without an open defblock"
+  | Some (header_line, name, kind, n_inputs, n_outputs, output_init, body) ->
+    st.open_block <- None;
+    if Hashtbl.mem st.custom name then
+      parse_error header_line "duplicate defblock %S" name;
+    let behavior =
+      try Behavior.Parse.program (Buffer.contents body) with
+      | Behavior.Parse.Syntax_error { line; column; message } ->
+        parse_error (header_line + line)
+          "in defblock %s (column %d): %s" name column message
+    in
+    let cost = Eblock.Cost.of_kind kind in
+    (try
+       Hashtbl.replace st.custom name
+         (Eblock.Descriptor.make ~name ~kind ~n_inputs ~n_outputs ~behavior
+            ?output_init ~cost ())
+     with Eblock.Descriptor.Invalid_descriptor msg ->
+       parse_error header_line "invalid defblock: %s" msg)
+
+let resolve_descriptor st lineno name =
+  match Hashtbl.find_opt st.custom name with
+  | Some d -> d
+  | None ->
+    (match Eblock.Catalog.of_name name with
+     | Some d -> d
+     | None -> parse_error lineno "unknown block type %S" name)
+
+let parse_line st lineno raw =
+  match st.open_block with
+  | Some (_, _, _, _, _, _, body) ->
+    (* only an unindented '}' terminates the block: the emitted body is
+       indented, so nested closing braces never start a line *)
+    if String.length raw > 0 && raw.[0] = '}' then close_defblock st lineno
+    else begin
+      Buffer.add_string body raw;
+      Buffer.add_char body '\n'
+    end
+  | None ->
+    let line = strip_comment raw in
+    (match split_words line with
+     | [] -> ()
+     | "network" :: rest -> st.name <- Some (String.concat " " rest)
+     | "defblock" :: rest ->
+       let name, kind, n_inputs, n_outputs, output_init =
+         parse_defblock_header lineno rest
+       in
+       st.open_block <-
+         Some (lineno, name, kind, n_inputs, n_outputs, output_init,
+               Buffer.create 128)
+     | "node" :: id :: desc_name :: label_words ->
+       let id = int_of lineno "node id" id in
+       let label =
+         match label_words with
+         | [] -> None
+         | words -> Some (String.concat " " words)
+       in
+       let d = resolve_descriptor st lineno desc_name in
+       (try st.graph <- fst (Graph.add ~id ?label st.graph d) with
+        | Graph.Structural_error msg -> parse_error lineno "%s" msg)
+     | [ "edge"; src; dst ] ->
+       let src = parse_endpoint lineno src in
+       let dst = parse_endpoint lineno dst in
+       (try st.graph <- Graph.connect st.graph ~src ~dst with
+        | Graph.Structural_error msg -> parse_error lineno "%s" msg)
+     | word :: _ -> parse_error lineno "unknown directive %S" word)
+
+let of_string text =
+  let st = {
+    name = None;
+    graph = Graph.empty;
+    custom = Hashtbl.create 4;
+    open_block = None;
+  }
+  in
+  List.iteri
+    (fun index raw -> parse_line st (index + 1) raw)
+    (String.split_on_char '\n' text);
+  (match st.open_block with
+   | Some (header_line, name, _, _, _, _, _) ->
+     parse_error header_line "defblock %s is never closed" name
+   | None -> ());
+  (st.name, st.graph)
+
+let write_file path ?name g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,36 @@
+(** A line-oriented textual netlist format, so designs — including
+    synthesised ones — can be saved, versioned, and fed to the
+    command-line tools.
+
+    Grammar ([#] starts a comment; blank lines are ignored):
+    {v
+    network <name>
+    defblock <name> <kind> <n-inputs> <n-outputs> [init <v> ...] {
+      <behaviour-language source, see Behavior.Parse>
+    }
+    node <id> <descriptor-name> [<label>]
+    edge <src-id>.<src-port> <dst-id>.<dst-port>
+    v}
+
+    [node] descriptor names resolve first against the file's [defblock]
+    definitions, then through {!Eblock.Catalog.of_name} (so parameterised
+    catalogue blocks appear as e.g. [delay(10)]).  [kind] is one of
+    [sensor], [output], [compute], [comm], [programmable]; the optional
+    [init] clause lists each output port's power-on value ([true], [false]
+    or an integer; default all [false]).
+
+    {!to_string} emits a [defblock] for every descriptor that is not a
+    catalogue block — in particular for the programmable blocks produced
+    by synthesis — so any network round-trips. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : ?name:string -> Graph.t -> string
+
+val of_string : string -> string option * Graph.t
+(** Returns the declared network name (if any) and the parsed graph.
+    Raises {!Parse_error} on syntax errors, unknown descriptors, or
+    structural errors (reported with the offending line number). *)
+
+val write_file : string -> ?name:string -> Graph.t -> unit
+val read_file : string -> string option * Graph.t

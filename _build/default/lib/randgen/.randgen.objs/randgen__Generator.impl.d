@@ -1,0 +1,1 @@
+lib/randgen/generator.ml: Eblock Hashtbl List Netlist Prng

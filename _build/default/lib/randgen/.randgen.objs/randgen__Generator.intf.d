@@ -1,0 +1,1 @@
+lib/randgen/generator.mli: Netlist Prng

@@ -1,0 +1,123 @@
+module Graph = Netlist.Graph
+module C = Eblock.Catalog
+
+type profile = {
+  comm_probability : float;
+  wide_probability : float;
+  sequential_probability : float;
+  sensor_bias : float;
+}
+
+let default_profile = {
+  comm_probability = 0.08;
+  wide_probability = 0.06;
+  sequential_probability = 0.45;
+  sensor_bias = 0.35;
+}
+
+let sensors = [ C.button; C.contact_switch; C.motion_sensor;
+                C.light_sensor; C.sound_sensor; C.magnet_sensor ]
+
+let outputs = [ C.led; C.buzzer; C.relay ]
+
+let narrow_combinational rng =
+  Prng.pick rng [ C.not_gate; C.and2; C.or2; C.xor2; C.nand2; C.nor2;
+                  C.splitter2 ]
+
+let narrow_sequential rng =
+  match Prng.int rng 6 with
+  | 0 -> C.toggle
+  | 1 -> C.trip_latch
+  | 2 -> C.trip_reset
+  | 3 -> C.pulse_gen ~width:(2 + Prng.int rng 8)
+  | 4 -> C.delay ~ticks:(2 + Prng.int rng 8)
+  | _ -> C.prolong ~ticks:(2 + Prng.int rng 8)
+
+let wide_gate rng =
+  match Prng.int rng 3 with
+  | 0 -> C.and3
+  | 1 -> C.or3
+  | _ -> C.truth_table3 ~table:(Prng.int rng 256)
+
+let pick_inner_descriptor ~profile rng =
+  if Prng.float rng 1.0 < profile.comm_probability then C.x10_link
+  else if Prng.float rng 1.0 < profile.wide_probability then wide_gate rng
+  else if Prng.float rng 1.0 < profile.sequential_probability then
+    narrow_sequential rng
+  else narrow_combinational rng
+
+let generate ?(profile = default_profile) ~rng ~inner () =
+  if inner < 1 then invalid_arg "Generator.generate: inner must be >= 1";
+  (* Every source is an (id, port) pair that can still drive further
+     consumers; inner outputs additionally remember whether anything
+     consumes them yet. *)
+  let g = ref Graph.empty in
+  let sources = ref [] in  (* (id, port) of all connectable outputs *)
+  let unconsumed = Hashtbl.create 16 in  (* inner (id, port) -> true *)
+  let new_sensor () =
+    let g', id = Graph.add !g (Prng.pick rng sensors) in
+    g := g';
+    sources := (id, 0) :: !sources;
+    (id, 0)
+  in
+  let pick_source () =
+    if !sources = [] || Prng.float rng 1.0 < profile.sensor_bias then
+      new_sensor ()
+    else Prng.pick rng !sources
+  in
+  for _ = 1 to inner do
+    let d = pick_inner_descriptor ~profile rng in
+    (* Choose drivers before adding the node, so a block never feeds
+       itself and the graph stays acyclic. *)
+    let drivers =
+      List.init d.Eblock.Descriptor.n_inputs (fun _ -> pick_source ())
+    in
+    let g', id = Graph.add !g d in
+    g := g';
+    List.iteri
+      (fun port (src_id, src_port) ->
+        g := Graph.connect !g ~src:(src_id, src_port) ~dst:(id, port);
+        Hashtbl.remove unconsumed (src_id, src_port))
+      drivers;
+    for port = 0 to d.Eblock.Descriptor.n_outputs - 1 do
+      sources := (id, port) :: !sources;
+      Hashtbl.replace unconsumed (id, port) true
+    done
+  done;
+  (* Give every dangling inner output a primary output block, and make
+     sure at least one output block exists. *)
+  let dangling =
+    Hashtbl.fold (fun src _ acc -> src :: acc) unconsumed []
+    |> List.sort compare
+  in
+  let attach_output (src_id, src_port) =
+    let g', out_id = Graph.add !g (Prng.pick rng outputs) in
+    g := g';
+    g := Graph.connect !g ~src:(src_id, src_port) ~dst:(out_id, 0)
+  in
+  List.iter attach_output dangling;
+  if Graph.primary_outputs !g = [] then begin
+    (* All inner outputs were consumed internally (possible only when the
+       last block is a sink-less cycle breaker; attach to any source). *)
+    match !sources with
+    | src :: _ -> attach_output src
+    | [] -> assert false
+  end;
+  if Graph.sensors !g = [] then ignore (new_sensor ());
+  !g
+
+let worst_case ~inner =
+  if inner < 1 then invalid_arg "Generator.worst_case: inner must be >= 1";
+  let g = ref Graph.empty in
+  for i = 0 to inner - 1 do
+    let base = i * 4 in
+    let add ~id d = g := fst (Graph.add ~id:(base + id) !g d) in
+    add ~id:1 C.button;
+    add ~id:2 C.button;
+    add ~id:3 C.and2;
+    add ~id:4 C.led;
+    g := Graph.connect !g ~src:(base + 1, 0) ~dst:(base + 3, 0);
+    g := Graph.connect !g ~src:(base + 2, 0) ~dst:(base + 3, 1);
+    g := Graph.connect !g ~src:(base + 3, 0) ~dst:(base + 4, 0)
+  done;
+  !g

@@ -1,0 +1,38 @@
+(** Random eBlock network generator — the analogue of the paper's
+    "randomized eBlock system generator able to generate eBlock networks
+    of varying sizes" used for Table 2.
+
+    Construction is by position: inner blocks are drawn left to right and
+    every input port connects to a uniformly chosen earlier source (an
+    earlier inner block's output or a sensor), so the result is acyclic by
+    construction; any inner output port left without a consumer gets an
+    output block.  Generated networks always pass
+    [Netlist.Graph.validate]. *)
+
+module Graph = Netlist.Graph
+
+type profile = {
+  comm_probability : float;
+      (** chance an inner block is a communication link *)
+  wide_probability : float;
+      (** chance of a 3-input gate (which can never fit a 2x2 block) *)
+  sequential_probability : float;
+      (** chance a 1-input block is sequential rather than combinational *)
+  sensor_bias : float;
+      (** chance an input connects to a (possibly new) sensor rather than
+          an earlier inner block *)
+}
+
+val default_profile : profile
+(** Mix resembling the real designs: mostly small gates and sequential
+    blocks, occasional comm links and wide gates. *)
+
+val generate : ?profile:profile -> rng:Prng.t -> inner:int -> unit -> Graph.t
+(** A valid network with exactly [inner] inner blocks.
+    Raises [Invalid_argument] if [inner < 1]. *)
+
+val worst_case : inner:int -> Graph.t
+(** The paper's worst-case family for the complexity analysis (§4.2):
+    every inner block fits a programmable block by itself but no two can
+    be combined (each needs two dedicated sensor inputs), forcing the
+    n·(n+1)/2 iteration behaviour. *)

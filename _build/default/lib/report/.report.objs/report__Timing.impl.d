@@ -1,0 +1,1 @@
+lib/report/timing.ml: Printf Unix

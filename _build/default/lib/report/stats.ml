@@ -1,0 +1,30 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let squares = List.map (fun x -> (x -. m) ** 2.) xs in
+    sqrt (mean squares)
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+    let n = List.length s in
+    if n mod 2 = 1 then List.nth s (n / 2)
+    else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.
+
+let minimum = function [] -> 0. | xs -> List.fold_left Float.min infinity xs
+let maximum = function
+  | [] -> 0.
+  | xs -> List.fold_left Float.max neg_infinity xs
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let percent_increase ~baseline value =
+  if baseline = 0. then 0. else (value -. baseline) /. baseline *. 100.

@@ -1,0 +1,15 @@
+(** Small summary statistics used by the experiment tables. *)
+
+val mean : float list -> float
+(** 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val median : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+val mean_int : int list -> float
+val percent_increase : baseline:float -> float -> float
+(** [(value - baseline) / baseline * 100.]; 0 when the baseline is 0. *)

@@ -1,0 +1,57 @@
+type align =
+  | Left
+  | Right
+
+let pad align width cell =
+  let missing = width - String.length cell in
+  if missing <= 0 then cell
+  else
+    match align with
+    | Left -> cell ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ cell
+
+let normalise n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render ?aligns ~headers ~rows () =
+  let n = List.length headers in
+  let rows = List.map (normalise n) rows in
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a >= n then a
+      else a @ List.init (n - List.length a) (fun _ -> Right)
+    | None -> Left :: List.init (max 0 (n - 1)) (fun _ -> Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_row cells =
+    let parts =
+      List.mapi
+        (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+        (normalise n cells)
+    in
+    String.concat "  " parts
+  in
+  let separator =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (render_row headers :: separator :: List.map render_row rows)
+  ^ "\n"
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_csv ~headers ~rows =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line headers :: List.map line rows) ^ "\n"

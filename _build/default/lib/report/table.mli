@@ -1,0 +1,20 @@
+(** Plain-text column-aligned tables, in the spirit of the paper's
+    Table 1 and Table 2. *)
+
+type align =
+  | Left
+  | Right
+
+val render :
+  ?aligns:align list ->
+  headers:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Columns are padded to their widest cell; [aligns] defaults to [Left]
+    for the first column and [Right] for the rest.  Rows shorter than the
+    header are padded with empty cells. *)
+
+val render_csv : headers:string list -> rows:string list list -> string
+(** The same data as RFC-4180-ish CSV (cells containing commas or quotes
+    are quoted). *)

@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val time_best_of : repeats:int -> (unit -> 'a) -> 'a * float
+(** Re-run the thunk [repeats] times and report the fastest run —
+    stabilises sub-millisecond measurements. *)
+
+val format_seconds : float -> string
+(** The paper's Table 1/2 time notation: ["<1ms"], ["6.56ms"],
+    ["4.79 s"], ["3.67 min"]. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Behavior Eblock Hashtbl List Map Netlist Printf Prng

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Behavior Engine Format Hashtbl List Netlist Prng Stimulus

@@ -1,0 +1,1 @@
+lib/sim/equiv.mli: Behavior Format Netlist Stimulus

@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Engine Format Hashtbl Int List Netlist Prng

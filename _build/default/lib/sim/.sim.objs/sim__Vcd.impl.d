@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Behavior Bool Buffer Char Eblock Engine Fun Hashtbl List Netlist Printf Stimulus String

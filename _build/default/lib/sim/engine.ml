@@ -1,0 +1,294 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type value = Behavior.Ast.value
+
+type runtime = {
+  env : Behavior.Eval.env;
+  input_latch : value array;
+  output_latch : value array;
+  timer_gen : (int, int) Hashtbl.t;
+      (* per timer index: generation of the latest arming; expiry events
+         from superseded generations are ignored *)
+}
+
+type event =
+  | Deliver of Graph.edge * value
+  | Timer_expiry of Node_id.t * int * int  (* node, timer index, generation *)
+  | Sensor_change of Node_id.t * bool
+
+module Queue_key = struct
+  type t = int * int * int  (* time, priority, unique counter *)
+
+  let compare = compare
+end
+
+module Event_queue = Map.Make (Queue_key)
+
+type tie_order =
+  | Fifo
+  | Lifo
+  | Shuffled of int
+
+type t = {
+  graph : Graph.t;
+  states : runtime Node_id.Map.t;
+  tie_order : tie_order;
+  tie_rng : Prng.t option;
+  edge_delay : Graph.edge -> int;
+  mutable queue : event Event_queue.t;
+  mutable seq : int;
+  mutable clock : int;
+  mutable activations : int;
+  mutable packets : int;
+  mutable output_trace : (int * Node_id.t * value) list;  (* newest first *)
+}
+
+let wire_delay = 1
+
+let runtime_of_node g id =
+  let d = Graph.descriptor g id in
+  let open Eblock.Descriptor in
+  let input_latch =
+    Array.init d.n_inputs (fun port ->
+        match Graph.driver g id port with
+        | Some src ->
+          let src_desc = Graph.descriptor g src.Graph.node in
+          src_desc.output_init.(src.Graph.port)
+        | None -> Behavior.Ast.Bool false)
+  in
+  {
+    env = Behavior.Eval.init d.behavior;
+    input_latch;
+    output_latch = Array.copy d.output_init;
+    timer_gen = Hashtbl.create 2;
+  }
+
+let now t = t.clock
+
+let state t id =
+  match Node_id.Map.find_opt id t.states with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
+
+let schedule t ~time event =
+  (* The priority orders same-time events: scheduling order for Fifo,
+     reversed for Lifo, seeded-random for Shuffled.  Perturbing it changes
+     exactly the packet races whose outcome the network does not actually
+     define (see {!tie_order}). *)
+  t.seq <- t.seq + 1;
+  let priority =
+    match t.tie_order, t.tie_rng with
+    | Fifo, _ | (Lifo | Shuffled _), None -> t.seq
+    | Lifo, _ -> -t.seq
+    | Shuffled _, Some rng -> Prng.int rng 1_000_000_000
+  in
+  t.queue <- Event_queue.add (time, priority, t.seq) event t.queue
+
+let current_gen rt timer =
+  match Hashtbl.find_opt rt.timer_gen timer with
+  | Some gen -> gen
+  | None -> 0
+
+let bump_gen rt timer =
+  let gen = current_gen rt timer + 1 in
+  Hashtbl.replace rt.timer_gen timer gen;
+  gen
+
+let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) g =
+  let order = Graph.topological_order g in
+  let states =
+    List.fold_left
+      (fun acc id -> Node_id.Map.add id (runtime_of_node g id) acc)
+      Node_id.Map.empty (Graph.node_ids g)
+  in
+  let tie_rng =
+    match tie_order with
+    | Shuffled seed -> Some (Prng.create seed)
+    | Fifo | Lifo -> None
+  in
+  let t = {
+    graph = g;
+    states;
+    tie_order;
+    tie_rng;
+    edge_delay;
+    queue = Event_queue.empty;
+    seq = 0;
+    clock = 0;
+    activations = 0;
+    packets = 0;
+    output_trace = [];
+  }
+  in
+  (* Power-on sweep: each block evaluates once so that every output is
+     consistent with the power-on inputs (physical blocks announce their
+     state at power-on).  Performed latch-to-latch in topological order,
+     with no packets and no clock advance; timer requests (e.g. a delay
+     block whose power-on input differs from its reset state) become
+     ordinary timer events counted from time 0. *)
+  let init_node id =
+    let d = Graph.descriptor g id in
+    match d.Eblock.Descriptor.kind with
+    | Eblock.Kind.Sensor | Eblock.Kind.Output -> ()
+    | Eblock.Kind.Compute | Eblock.Kind.Comm | Eblock.Kind.Programmable ->
+      let rt = Node_id.Map.find id states in
+      let act =
+        { Behavior.Eval.inputs = Array.copy rt.input_latch; fired = None }
+      in
+      let outcome =
+        Behavior.Eval.activate d.Eblock.Descriptor.behavior
+          ~n_outputs:d.Eblock.Descriptor.n_outputs rt.env act
+      in
+      Array.iteri
+        (fun port slot ->
+          match slot with
+          | Some v ->
+            rt.output_latch.(port) <- v;
+            List.iter
+              (fun e ->
+                if e.Graph.src.Graph.port = port then begin
+                  let dst_rt = Node_id.Map.find e.Graph.dst.Graph.node states in
+                  dst_rt.input_latch.(e.Graph.dst.Graph.port) <- v
+                end)
+              (Graph.fanout g id)
+          | None -> ())
+        outcome.Behavior.Eval.outputs;
+      List.iter
+        (fun (timer, action) ->
+          match action with
+          | Behavior.Eval.Timer_set delay ->
+            let gen = bump_gen rt timer in
+            schedule t ~time:delay (Timer_expiry (id, timer, gen))
+          | Behavior.Eval.Timer_cancelled -> ignore (bump_gen rt timer))
+        outcome.Behavior.Eval.timers
+  in
+  List.iter init_node order;
+  t
+
+
+(* Present [v] on output [port] of [id]; on change, send a packet down
+   every connection of that port. *)
+let present t ~time id port v =
+  let rt = state t id in
+  if not (Behavior.Ast.equal_value rt.output_latch.(port) v) then begin
+    rt.output_latch.(port) <- v;
+    List.iter
+      (fun e ->
+        if e.Graph.src.Graph.port = port then begin
+          t.packets <- t.packets + 1;
+          schedule t ~time:(time + max 1 (t.edge_delay e)) (Deliver (e, v))
+        end)
+      (Graph.fanout t.graph id)
+  end
+
+let activate t ~time id ~fired =
+  let d = Graph.descriptor t.graph id in
+  let rt = state t id in
+  t.activations <- t.activations + 1;
+  let act =
+    { Behavior.Eval.inputs = Array.copy rt.input_latch; fired }
+  in
+  let outcome =
+    Behavior.Eval.activate d.Eblock.Descriptor.behavior
+      ~n_outputs:d.Eblock.Descriptor.n_outputs rt.env act
+  in
+  Array.iteri
+    (fun port slot ->
+      match slot with
+      | Some v -> present t ~time id port v
+      | None -> ())
+    outcome.Behavior.Eval.outputs;
+  List.iter
+    (fun (timer, action) ->
+      match action with
+      | Behavior.Eval.Timer_set delay ->
+        let gen = bump_gen rt timer in
+        schedule t ~time:(time + delay) (Timer_expiry (id, timer, gen))
+      | Behavior.Eval.Timer_cancelled -> ignore (bump_gen rt timer))
+    outcome.Behavior.Eval.timers
+
+let record_output_change t ~time id v =
+  t.output_trace <- (time, id, v) :: t.output_trace
+
+let process t ~time event =
+  t.clock <- max t.clock time;
+  match event with
+  | Deliver (e, v) ->
+    let dst = e.Graph.dst.Graph.node in
+    let rt = state t dst in
+    let port = e.Graph.dst.Graph.port in
+    let changed = not (Behavior.Ast.equal_value rt.input_latch.(port) v) in
+    rt.input_latch.(port) <- v;
+    (match Graph.kind t.graph dst with
+     | Eblock.Kind.Output -> if changed then record_output_change t ~time dst v
+     | Eblock.Kind.Sensor | Eblock.Kind.Compute | Eblock.Kind.Comm
+     | Eblock.Kind.Programmable -> activate t ~time dst ~fired:None)
+  | Timer_expiry (id, timer, gen) ->
+    let rt = state t id in
+    if current_gen rt timer = gen then activate t ~time id ~fired:(Some timer)
+  | Sensor_change (id, b) -> present t ~time id 0 (Behavior.Ast.Bool b)
+
+let step t =
+  match Event_queue.min_binding_opt t.queue with
+  | None -> false
+  | Some (((time, _, _) as key), event) ->
+    t.queue <- Event_queue.remove key t.queue;
+    process t ~time event;
+    true
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.min_binding_opt t.queue with
+    | Some (((time, _, _) as key), event) when time <= horizon ->
+      t.queue <- Event_queue.remove key t.queue;
+      process t ~time event;
+      loop ()
+    | Some _ | None -> t.clock <- max t.clock horizon
+  in
+  loop ()
+
+let settle ?(limit = 100_000) t =
+  let rec loop remaining =
+    if remaining = 0 then
+      failwith "Engine.settle: event limit exceeded (self-retriggering network?)"
+    else if step t then loop (remaining - 1)
+  in
+  loop limit
+
+let require_sensor t id =
+  match Graph.kind t.graph id with
+  | Eblock.Kind.Sensor -> ()
+  | Eblock.Kind.Output | Eblock.Kind.Compute | Eblock.Kind.Comm
+  | Eblock.Kind.Programmable ->
+    invalid_arg (Printf.sprintf "Engine.set_sensor: node %d is not a sensor" id)
+
+let set_sensor_at t ~time id b =
+  require_sensor t id;
+  if time < t.clock then invalid_arg "Engine.set_sensor_at: time in the past";
+  schedule t ~time (Sensor_change (id, b))
+
+let set_sensor t id b = set_sensor_at t ~time:t.clock id b
+
+let output_value t id =
+  match Graph.kind t.graph id with
+  | Eblock.Kind.Output -> (state t id).input_latch.(0)
+  | Eblock.Kind.Sensor | Eblock.Kind.Compute | Eblock.Kind.Comm
+  | Eblock.Kind.Programmable ->
+    invalid_arg
+      (Printf.sprintf "Engine.output_value: node %d is not a primary output" id)
+
+let output_values t =
+  List.map (fun id -> (id, output_value t id)) (Graph.primary_outputs t.graph)
+
+let port_value t id port =
+  let rt = state t id in
+  if port < 0 || port >= Array.length rt.output_latch then
+    invalid_arg "Engine.port_value: port out of range";
+  rt.output_latch.(port)
+
+let trace t = List.rev t.output_trace
+
+let activation_count t = t.activations
+
+let packet_count t = t.packets

@@ -1,0 +1,88 @@
+(** Discrete-event simulator for eBlock networks.
+
+    Models the eBlock execution platform of §3.1: blocks communicate with
+    packets, "globally asynchronous", change-driven — a block sends a
+    packet on an output connection only when the value presented on that
+    output changes.  Time is an abstract integer tick; the paper notes the
+    blocks "deal with human-scale events rather than fast timing", so only
+    the ordering matters, not absolute durations.
+
+    A simulation owns mutable per-block state (variable store, latched
+    input and output values, armed timers) plus a time-ordered event
+    queue.  Packets take {!wire_delay} ticks to traverse an edge. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type t
+
+type tie_order =
+  | Fifo  (** same-time events run in scheduling order (the default) *)
+  | Lifo  (** same-time events run in reverse scheduling order *)
+  | Shuffled of int  (** same-time events run in seeded-random order *)
+
+val wire_delay : int
+(** Ticks a packet needs to traverse one connection (1). *)
+
+val create :
+  ?tie_order:tie_order -> ?edge_delay:(Graph.edge -> int) -> Graph.t -> t
+(** Initialise a simulation.  Latches start from the descriptors' power-on
+    values, then every block evaluates once in topological order (the
+    power-on sweep: physical blocks announce their state at power-on), so
+    all outputs are consistent with the power-on inputs before any event
+    runs.  The graph must be acyclic; raises [Graph.Structural_error]
+    otherwise.
+
+    [tie_order] selects how simultaneous events are ordered, and
+    [edge_delay] assigns each connection its packet latency (default
+    {!wire_delay}; values below 1 are clamped to 1).  A network whose
+    settled outputs depend on either contains a {e race} or a
+    {e path-length hazard} (e.g. a latch whose trigger outruns its reset);
+    physical eBlocks resolve those nondeterministically, so such
+    sensitivity is a property of the design, not of synthesis — see
+    {!Equiv.timing_sensitive}. *)
+
+val now : t -> int
+
+val set_sensor : t -> Node_id.t -> bool -> unit
+(** Schedule the given sensor to present a value at the current time.
+    Raises [Invalid_argument] if the node is not a sensor. *)
+
+val set_sensor_at : t -> time:int -> Node_id.t -> bool -> unit
+(** Same, at an absolute future time. *)
+
+val step : t -> bool
+(** Process the earliest pending event; [false] if none was pending. *)
+
+val run_until : t -> int -> unit
+(** Process events up to and including the given time, then set the clock
+    to it. *)
+
+val settle : ?limit:int -> t -> unit
+(** Run until no events remain ([limit], default 100_000, guards against a
+    runaway self-retriggering network; raises [Failure] when hit). *)
+
+val output_value : t -> Node_id.t -> Behavior.Ast.value
+(** Value currently presented to a primary-output block (its input
+    latch). *)
+
+val output_values : t -> (Node_id.t * Behavior.Ast.value) list
+(** All primary outputs, sorted by id. *)
+
+val port_value : t -> Node_id.t -> int -> Behavior.Ast.value
+(** Value latched on an arbitrary node's output port; for inspection. *)
+
+val trace : t -> (int * Node_id.t * Behavior.Ast.value) list
+(** Every change observed at a primary output: (time, output node, new
+    value), in chronological order. *)
+
+val activation_count : t -> int
+(** Total block activations processed so far (a cheap effort metric used
+    by tests and benches). *)
+
+val packet_count : t -> int
+(** Total packets sent over connections so far.  Each packet is a serial
+    transmission on a physical wire or radio, so this is the network's
+    communication-energy proxy — the quantity the paper's synthesis
+    reduces alongside block count ("reducing network size and hence
+    network cost and power"). *)

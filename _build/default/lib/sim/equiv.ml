@@ -1,0 +1,95 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type mismatch = {
+  at_time : int;
+  output : Node_id.t;
+  reference : Behavior.Ast.value;
+  candidate : Behavior.Ast.value;
+}
+
+let pp_mismatch ppf { at_time; output; reference; candidate } =
+  Format.fprintf ppf
+    "at time %d, output %d: reference shows %a but candidate shows %a"
+    at_time output Behavior.Ast.pp_value reference Behavior.Ast.pp_value
+    candidate
+
+let same_ids a b =
+  List.equal Node_id.equal a b
+
+let check ~reference ~candidate script =
+  if not (same_ids (Graph.sensors reference) (Graph.sensors candidate)) then
+    invalid_arg "Equiv.check: sensor sets differ";
+  if not
+       (same_ids
+          (Graph.primary_outputs reference)
+          (Graph.primary_outputs candidate))
+  then invalid_arg "Equiv.check: primary output sets differ";
+  let ref_engine = Engine.create reference in
+  let cand_engine = Engine.create candidate in
+  let ref_obs = Stimulus.settled_outputs ref_engine script in
+  let cand_obs = Stimulus.settled_outputs cand_engine script in
+  let compare_point acc (time, ref_outputs) (_, cand_outputs) =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+      let rec compare_outputs ref_outputs cand_outputs =
+        match ref_outputs, cand_outputs with
+        | [], [] -> Ok ()
+        | (id, rv) :: ref_rest, (_, cv) :: cand_rest ->
+          if Behavior.Ast.equal_value rv cv
+          then compare_outputs ref_rest cand_rest
+          else
+            Error { at_time = time; output = id; reference = rv;
+                    candidate = cv }
+        | [], _ :: _ | _ :: _, [] ->
+          invalid_arg "Equiv.check: output arity mismatch"
+      in
+      compare_outputs ref_outputs cand_outputs
+  in
+  List.fold_left2 compare_point (Ok ()) ref_obs cand_obs
+
+let random_script g ~seed ~steps =
+  let rng = Prng.create seed in
+  Stimulus.random ~rng ~sensors:(Graph.sensors g) ~steps ~spacing:20
+
+let check_random ~reference ~candidate ~seed ~steps =
+  check ~reference ~candidate (random_script reference ~seed ~steps)
+
+let race_sensitive g script =
+  let observe tie_order =
+    Stimulus.settled_outputs (Engine.create ~tie_order g) script
+  in
+  let reference = observe Engine.Fifo in
+  List.exists
+    (fun order -> observe order <> reference)
+    [ Engine.Lifo; Engine.Shuffled 1; Engine.Shuffled 2; Engine.Shuffled 3 ]
+
+let race_sensitive_random g ~seed ~steps =
+  race_sensitive g (random_script g ~seed ~steps)
+
+(* A deterministic pseudo-random latency in 1..4 per connection. *)
+let jittered_delay salt (e : Graph.edge) =
+  1 + (Hashtbl.hash (salt, e.Graph.src, e.Graph.dst) land 3)
+
+let timing_sensitive g script =
+  let observe ?tie_order ?edge_delay () =
+    Stimulus.settled_outputs (Engine.create ?tie_order ?edge_delay g) script
+  in
+  let reference = observe () in
+  (* Slowing any single connection enough to outlast every alternative
+     path deterministically flips each two-path hazard ordering at least
+     once; the jittered assignments additionally sample combined
+     perturbations. *)
+  let slow = Graph.node_count g + 2 in
+  let slow_one target (e : Graph.edge) = if e = target then slow else 1 in
+  List.exists
+    (fun target -> observe ~edge_delay:(slow_one target) () <> reference)
+    (Graph.edges g)
+  || List.exists
+       (fun salt -> observe ~edge_delay:(jittered_delay salt) () <> reference)
+       [ 1; 2; 3; 4 ]
+  || race_sensitive g script
+
+let timing_sensitive_random g ~seed ~steps =
+  timing_sensitive g (random_script g ~seed ~steps)

@@ -1,0 +1,68 @@
+(** Observational equivalence of two networks by co-simulation.
+
+    Synthesis must not change what a user observes: after every sensor
+    change, once both networks are quiescent, every primary output must
+    show the same value.  (Transient timing legitimately differs — a
+    programmable block collapses several packet hops into one — so only
+    settled values are compared, matching the paper's "behaviourally
+    correct ... obeys general high-level timing" simulation contract.)
+
+    Both networks must expose the same sensor and primary-output node ids,
+    which is guaranteed by the synthesis rewriter (it only touches inner
+    nodes). *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type mismatch = {
+  at_time : int;
+  output : Node_id.t;
+  reference : Behavior.Ast.value;
+  candidate : Behavior.Ast.value;
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val check :
+  reference:Graph.t ->
+  candidate:Graph.t ->
+  Stimulus.script ->
+  (unit, mismatch) result
+(** Run the script against both networks, comparing settled outputs after
+    each step.  Raises [Invalid_argument] if the two networks do not have
+    identical sensor and primary-output id sets. *)
+
+val check_random :
+  reference:Graph.t ->
+  candidate:Graph.t ->
+  seed:int ->
+  steps:int ->
+  (unit, mismatch) result
+(** {!check} with a random script over the reference's sensors. *)
+
+val race_sensitive : Graph.t -> Stimulus.script -> bool
+(** True when the network's settled outputs under the script depend on how
+    simultaneous packets are ordered (simulated with {!Engine.Fifo} and
+    compared against {!Engine.Lifo} and several {!Engine.Shuffled}
+    orders).  Such designs — e.g. a
+    latch reached by two same-length paths from one sensor — behave
+    nondeterministically on physical eBlocks as well; equivalence of a
+    synthesis result is only meaningful for race-free designs. *)
+
+val race_sensitive_random : Graph.t -> seed:int -> steps:int -> bool
+(** {!race_sensitive} with a random script (same construction as
+    {!check_random}). *)
+
+val timing_sensitive : Graph.t -> Stimulus.script -> bool
+(** {!race_sensitive}, plus sensitivity to per-connection packet latency:
+    the script is replayed under several pseudo-random edge-delay
+    assignments and the settled outputs compared.  This additionally
+    catches {e path-length hazards} — e.g. a latch tripped by a transient
+    ordering of a signal and its own reset — whose behaviour the merged
+    programmable block (which evaluates members in level order with no
+    transport delay) legitimately does not reproduce.  Synthesis is
+    behaviour-preserving exactly for timing-insensitive designs; all
+    library designs are timing-insensitive (asserted in the test
+    suite). *)
+
+val timing_sensitive_random : Graph.t -> seed:int -> steps:int -> bool

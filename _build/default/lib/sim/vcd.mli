@@ -1,0 +1,32 @@
+(** Value-change-dump (VCD) export of simulation traces, so waveforms can
+    be inspected in GTKWave and friends.
+
+    The dump records every primary output of the network plus, optionally,
+    the output ports of selected internal blocks.  Boolean values map to
+    1-bit wires, integers to 16-bit registers. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+type probe = {
+  node : Node_id.t;
+  port : int;
+  label : string;
+}
+
+val output_probes : Graph.t -> probe list
+(** One probe per primary output (watching its input latch), labelled with
+    the node's label. *)
+
+val record :
+  ?extra_probes:probe list ->
+  Graph.t ->
+  Stimulus.script ->
+  string
+(** Run the script to completion on a fresh engine, sampling the probes
+    after every event, and render the waveform as VCD text.  Primary
+    outputs are always probed.  Self-retriggering networks are truncated
+    after a generous event budget rather than hanging. *)
+
+val write_file :
+  string -> ?extra_probes:probe list -> Graph.t -> Stimulus.script -> unit

@@ -1,0 +1,1 @@
+test/test_aggregation.ml: Alcotest Core Designs Eblock List Netlist QCheck Testlib

@@ -1,0 +1,1 @@
+test/test_annealing.ml: Alcotest Core Designs Netlist Prng QCheck Randgen Testlib

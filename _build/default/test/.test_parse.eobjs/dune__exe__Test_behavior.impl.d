@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Array Behavior Eblock List QCheck String Testlib

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Behavior Codegen Core Designs Eblock Filename Format List Netlist Printf Prng QCheck Randgen Result Sim String Sys Testlib

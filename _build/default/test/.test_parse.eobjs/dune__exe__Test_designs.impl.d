@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Behavior Core Designs Eblock Format List Netlist Printf Prng Result Sim String Testlib

@@ -1,0 +1,1 @@
+test/test_eblock.ml: Alcotest Array Behavior Bool Eblock Fun List Printf String Testlib

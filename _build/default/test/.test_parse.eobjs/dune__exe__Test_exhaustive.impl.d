@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Core Designs Eblock List Netlist Prng QCheck Randgen Testlib

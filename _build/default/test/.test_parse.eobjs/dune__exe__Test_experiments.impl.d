@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Designs Experiments List Printf Report String Testlib

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Codegen Core Designs Eblock Filename Format Fun List Netlist Result Sim String Sys Testlib

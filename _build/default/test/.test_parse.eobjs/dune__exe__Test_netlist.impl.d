@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Behavior Codegen Eblock Format Hashtbl List Netlist Printf QCheck Result Sim String Testlib

@@ -1,0 +1,1 @@
+test/test_paredown.ml: Alcotest Core Designs Eblock List Netlist Printf QCheck Randgen Testlib

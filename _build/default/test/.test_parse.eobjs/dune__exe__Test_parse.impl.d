@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Behavior Codegen Eblock List QCheck Testlib

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Core Designs Format Netlist Testlib

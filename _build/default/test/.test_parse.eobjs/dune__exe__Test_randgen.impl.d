@@ -1,0 +1,1 @@
+test/test_randgen.ml: Alcotest Core Eblock List Netlist Printf Prng QCheck Randgen Sim Testlib

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Behavior Designs Eblock Format List Netlist Prng QCheck Randgen Result Sim String Testlib

@@ -1,0 +1,447 @@
+(* Unit and property tests for the behaviour language: AST queries,
+   evaluation, renaming, and tree merging. *)
+
+open Behavior.Ast
+
+let check = Alcotest.check
+let value = Testlib.value
+
+(* --- AST static queries --------------------------------------------- *)
+
+let test_max_input_index () =
+  check Alcotest.int "no inputs" (-1) (max_input_index empty);
+  let p = { state = []; body = [ Output (0, input 3 &&& input 1) ] } in
+  check Alcotest.int "deep input" 3 (max_input_index p)
+
+let test_max_output_index () =
+  check Alcotest.int "no outputs" (-1) (max_output_index empty);
+  let p =
+    { state = []; body = [ Output (2, bool_ true); Output (0, bool_ false) ] }
+  in
+  check Alcotest.int "two outputs" 2 (max_output_index p)
+
+let test_max_timer_index () =
+  check Alcotest.int "no timers" (-1) (max_timer_index empty);
+  let p =
+    {
+      state = [];
+      body =
+        [
+          Set_timer (1, int_ 5);
+          If (Timer_fired 3, [ Cancel_timer 0 ], []);
+        ];
+    }
+  in
+  check Alcotest.int "nested" 3 (max_timer_index p);
+  check Alcotest.bool "uses" true (uses_timer p);
+  check Alcotest.bool "empty does not" false (uses_timer empty)
+
+let test_free_variables () =
+  let p = { state = []; body = [ Assign ("x", var "y") ] } in
+  check (Alcotest.list Alcotest.string) "y free" [ "y" ] (free_variables p);
+  let p = { state = [ ("y", Bool false) ]; body = [ Assign ("x", var "y") ] } in
+  check (Alcotest.list Alcotest.string) "state bound" [] (free_variables p);
+  let p =
+    { state = []; body = [ Assign ("x", bool_ true); Output (0, var "x") ] }
+  in
+  check (Alcotest.list Alcotest.string) "assigned first" [] (free_variables p)
+
+let test_free_variables_branches () =
+  (* assigned in only one branch => not surely defined *)
+  let p =
+    {
+      state = [];
+      body =
+        [
+          If (input 0, [ Assign ("x", bool_ true) ], []);
+          Output (0, var "x");
+        ];
+    }
+  in
+  check (Alcotest.list Alcotest.string) "one branch" [ "x" ] (free_variables p);
+  let p =
+    {
+      state = [];
+      body =
+        [
+          If (input 0,
+              [ Assign ("x", bool_ true) ],
+              [ Assign ("x", bool_ false) ]);
+          Output (0, var "x");
+        ];
+    }
+  in
+  check (Alcotest.list Alcotest.string) "both branches" [] (free_variables p)
+
+let test_assigned_variables () =
+  let p =
+    {
+      state = [ ("s", Int 0) ];
+      body = [ Assign ("b", bool_ true); If (var "b", [ Assign ("a", int_ 1) ], []) ];
+    }
+  in
+  check (Alcotest.list Alcotest.string) "sorted, includes state"
+    [ "a"; "b"; "s" ] (assigned_variables p)
+
+let test_pretty_print () =
+  let p = Eblock.Catalog.toggle.Eblock.Descriptor.behavior in
+  let text = program_to_string p in
+  check Alcotest.bool "mentions state" true
+    (Testlib.contains text "state prev = false;");
+  check Alcotest.bool "mentions out" true
+    (Testlib.contains text "out[0] = q;")
+
+(* --- Evaluation ------------------------------------------------------ *)
+
+let act ?(fired = None) inputs =
+  { Behavior.Eval.inputs = Array.of_list inputs; fired }
+
+let test_eval_operators () =
+  let e env expr =
+    Behavior.Eval.eval_expr env (act []) expr
+  in
+  let env = Behavior.Eval.init empty in
+  check value "and" (Bool false) (e env (bool_ true &&& bool_ false));
+  check value "or" (Bool true) (e env (bool_ true ||| bool_ false));
+  check value "xor bool" (Bool true)
+    (e env (Binop (Xor, bool_ true, bool_ false)));
+  check value "xor int" (Int 6) (e env (Binop (Xor, int_ 5, int_ 3)));
+  check value "not" (Bool false) (e env (not_ (bool_ true)));
+  check value "neg" (Int (-4)) (e env (Unop (Neg, int_ 4)));
+  check value "add" (Int 7) (e env (Binop (Add, int_ 3, int_ 4)));
+  check value "sub" (Int (-1)) (e env (Binop (Sub, int_ 3, int_ 4)));
+  check value "mul" (Int 12) (e env (Binop (Mul, int_ 3, int_ 4)));
+  check value "eq" (Bool true) (e env (Binop (Eq, int_ 3, int_ 3)));
+  check value "ne" (Bool true) (e env (Binop (Ne, bool_ true, bool_ false)));
+  check value "lt" (Bool true) (e env (Binop (Lt, int_ 2, int_ 3)));
+  check value "le" (Bool true) (e env (Binop (Le, int_ 3, int_ 3)));
+  check value "gt" (Bool false) (e env (Binop (Gt, int_ 2, int_ 3)));
+  check value "ge" (Bool true) (e env (Binop (Ge, int_ 3, int_ 3)));
+  check value "if_expr" (Int 1)
+    (e env (If_expr (bool_ true, int_ 1, int_ 2)))
+
+let test_eval_errors () =
+  let env = Behavior.Eval.init empty in
+  let fails name f =
+    match f () with
+    | exception Behavior.Eval.Runtime_error _ -> ()
+    | _ -> Alcotest.failf "%s did not raise" name
+  in
+  fails "unbound" (fun () ->
+      Behavior.Eval.eval_expr env (act []) (var "nope"));
+  fails "bool+int" (fun () ->
+      Behavior.Eval.eval_expr env (act []) (Binop (Add, bool_ true, int_ 1)));
+  fails "xor mixed" (fun () ->
+      Behavior.Eval.eval_expr env (act []) (Binop (Xor, bool_ true, int_ 1)));
+  fails "not int" (fun () ->
+      Behavior.Eval.eval_expr env (act []) (not_ (int_ 1)));
+  fails "input range" (fun () ->
+      Behavior.Eval.eval_expr env (act [ Bool true ]) (input 1));
+  fails "output range" (fun () ->
+      let p = { state = []; body = [ Output (5, bool_ true) ] } in
+      Behavior.Eval.activate p ~n_outputs:1 (Behavior.Eval.init p) (act []));
+  fails "non-positive timer" (fun () ->
+      let p = { state = []; body = [ Set_timer (0, int_ 0) ] } in
+      Behavior.Eval.activate p ~n_outputs:1 (Behavior.Eval.init p) (act []))
+
+let test_eval_latched_outputs () =
+  (* an output not driven during an activation stays None (latched) *)
+  let p =
+    { state = []; body = [ If (input 0, [ Output (0, bool_ true) ], []) ] }
+  in
+  let env = Behavior.Eval.init p in
+  let out1 =
+    Behavior.Eval.activate p ~n_outputs:1 env (act [ Bool false ])
+  in
+  check (Alcotest.option value) "undriven" None
+    out1.Behavior.Eval.outputs.(0);
+  let out2 = Behavior.Eval.activate p ~n_outputs:1 env (act [ Bool true ]) in
+  check (Alcotest.option value) "driven" (Some (Bool true))
+    out2.Behavior.Eval.outputs.(0)
+
+let test_eval_state_persists () =
+  let p =
+    {
+      state = [ ("count", Int 0) ];
+      body =
+        [
+          Assign ("count", Binop (Add, var "count", int_ 1));
+          Output (0, var "count");
+        ];
+    }
+  in
+  let env = Behavior.Eval.init p in
+  let run () =
+    (Behavior.Eval.activate p ~n_outputs:1 env (act [])).Behavior.Eval.outputs.(0)
+  in
+  check (Alcotest.option value) "first" (Some (Int 1)) (run ());
+  check (Alcotest.option value) "second" (Some (Int 2)) (run ());
+  check (Alcotest.option value) "peek" (Some (Int 2))
+    (Behavior.Eval.lookup env "count")
+
+let test_eval_timers () =
+  let p =
+    {
+      state = [];
+      body =
+        [
+          Set_timer (0, int_ 5);
+          Set_timer (1, int_ 9);
+          Cancel_timer 1;
+          If (Timer_fired 2, [ Output (0, bool_ true) ], []);
+        ];
+    }
+  in
+  let env = Behavior.Eval.init p in
+  let outcome = Behavior.Eval.activate p ~n_outputs:1 env (act []) in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.bool))
+    "timer actions (set wins per index, sorted)"
+    [ (0, true); (1, false) ]
+    (List.map
+       (fun (t, a) ->
+         (t, match a with Behavior.Eval.Timer_set _ -> true | _ -> false))
+       outcome.Behavior.Eval.timers);
+  (* timer_fired reflects the activation cause *)
+  let fired =
+    Behavior.Eval.activate p ~n_outputs:1 env (act ~fired:(Some 2) [])
+  in
+  check (Alcotest.option value) "fired branch" (Some (Bool true))
+    fired.Behavior.Eval.outputs.(0)
+
+(* --- Renaming -------------------------------------------------------- *)
+
+let test_rename_prefix () =
+  let p = Eblock.Catalog.toggle.Eblock.Descriptor.behavior in
+  let renamed = Behavior.Rename.with_prefix "b7_" p in
+  List.iter
+    (fun v ->
+      check Alcotest.bool (v ^ " prefixed") true
+        (String.length v > 3 && String.sub v 0 3 = "b7_"))
+    (assigned_variables renamed);
+  check (Alcotest.list Alcotest.string) "still closed" []
+    (free_variables renamed)
+
+let test_rename_preserves_semantics () =
+  let p = Eblock.Catalog.toggle.Eblock.Descriptor.behavior in
+  let renamed = Behavior.Rename.with_prefix "x_" p in
+  let run p inputs_list =
+    let env = Behavior.Eval.init p in
+    List.map
+      (fun i ->
+        (Behavior.Eval.activate p ~n_outputs:1 env (act [ Bool i ]))
+          .Behavior.Eval.outputs.(0))
+      inputs_list
+  in
+  let stimuli = [ true; true; false; true; false; false; true ] in
+  check
+    (Alcotest.list (Alcotest.option value))
+    "same outputs" (run p stimuli) (run renamed stimuli)
+
+let test_variables_disjoint () =
+  let p = Eblock.Catalog.toggle.Eblock.Descriptor.behavior in
+  check Alcotest.bool "same program clashes" false
+    (Behavior.Rename.variables_disjoint [ p; p ]);
+  check Alcotest.bool "renamed disjoint" true
+    (Behavior.Rename.variables_disjoint
+       [ Behavior.Rename.with_prefix "a_" p;
+         Behavior.Rename.with_prefix "b_" p ])
+
+(* --- Merging --------------------------------------------------------- *)
+
+(* two NOT gates in series: ext input -> not1 -> wire -> not2 -> ext out *)
+let serial_nots =
+  let not_behavior = Eblock.Catalog.not_gate.Eblock.Descriptor.behavior in
+  Behavior.Merge.
+    [
+      {
+        label = "n1_";
+        program = not_behavior;
+        inputs = [| Ext 0 |];
+        output_wires = [| "w1" |];
+        output_exts = [| [] |];
+        output_init = [| Bool false |];
+      };
+      {
+        label = "n2_";
+        program = not_behavior;
+        inputs = [| Wire "w1" |];
+        output_wires = [| "w2" |];
+        output_exts = [| [ 0 ] |];
+        output_init = [| Bool false |];
+      };
+    ]
+
+let test_merge_serial () =
+  let merged = Behavior.Merge.merge serial_nots in
+  check (Alcotest.list Alcotest.string) "closed" []
+    (free_variables merged);
+  let env = Behavior.Eval.init merged in
+  let out b =
+    (Behavior.Eval.activate merged ~n_outputs:1 env (act [ Bool b ]))
+      .Behavior.Eval.outputs.(0)
+  in
+  check (Alcotest.option value) "double negation true" (Some (Bool true))
+    (out true);
+  check (Alcotest.option value) "double negation false" (Some (Bool false))
+    (out false)
+
+let test_merge_timer_remap () =
+  let pulse = (Eblock.Catalog.pulse_gen ~width:4).Eblock.Descriptor.behavior in
+  let members =
+    Behavior.Merge.
+      [
+        {
+          label = "p1_";
+          program = pulse;
+          inputs = [| Ext 0 |];
+          output_wires = [| "w1" |];
+          output_exts = [| [ 0 ] |];
+          output_init = [| Bool false |];
+        };
+        {
+          label = "p2_";
+          program = pulse;
+          inputs = [| Wire "w1" |];
+          output_wires = [| "w2" |];
+          output_exts = [| [ 1 ] |];
+          output_init = [| Bool false |];
+        };
+      ]
+  in
+  let merged = Behavior.Merge.merge members in
+  check Alcotest.int "two distinct timers" 1 (max_timer_index merged);
+  check Alcotest.int "p1 base" 0 (Behavior.Merge.timer_base members "p1_");
+  check Alcotest.int "p2 base" 1 (Behavior.Merge.timer_base members "p2_")
+
+let merge_fails name members =
+  match Behavior.Merge.merge members with
+  | exception Behavior.Merge.Merge_error _ -> ()
+  | _ -> Alcotest.failf "%s did not raise" name
+
+let test_merge_errors () =
+  let nb = Eblock.Catalog.not_gate.Eblock.Descriptor.behavior in
+  let member label inputs wire =
+    Behavior.Merge.
+      {
+        label;
+        program = nb;
+        inputs;
+        output_wires = [| wire |];
+        output_exts = [| [] |];
+        output_init = [| Bool false |];
+      }
+  in
+  merge_fails "duplicate labels"
+    [ member "a_" [| Ext 0 |] "w1"; member "a_" [| Ext 0 |] "w2" ];
+  merge_fails "duplicate wires"
+    [ member "a_" [| Ext 0 |] "w"; member "b_" [| Ext 0 |] "w" ];
+  merge_fails "undriven wire" [ member "a_" [| Wire "ghost" |] "w1" ];
+  merge_fails "input arity" [ member "a_" [||] "w1" ]
+
+(* --- Properties ------------------------------------------------------ *)
+
+(* random boolean expressions over in[0..1] *)
+let expr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof [ map (fun b -> Const (Bool b)) bool;
+                  map (fun i -> Input i) (int_range 0 1) ]
+        else
+          frequency
+            [
+              (1, map (fun b -> Const (Bool b)) bool);
+              (1, map (fun i -> Input i) (int_range 0 1));
+              (2, map (fun e -> not_ e) (self (n - 1)));
+              (3,
+               map2 (fun a b -> a &&& b) (self (n / 2)) (self (n / 2)));
+              (3,
+               map2 (fun a b -> a ||| b) (self (n / 2)) (self (n / 2)));
+              (2,
+               map2
+                 (fun a b -> Binop (Xor, a, b))
+                 (self (n / 2)) (self (n / 2)));
+            ]))
+
+let arbitrary_expr =
+  QCheck.make ~print:expr_to_string expr_gen
+
+let eval_bool expr a b =
+  let env = Behavior.Eval.init empty in
+  match Behavior.Eval.eval_expr env (act [ Bool a; Bool b ]) expr with
+  | Bool r -> r
+  | Int _ -> Alcotest.fail "expected bool"
+
+let prop_double_negation =
+  QCheck.Test.make ~name:"eval: double negation is identity" ~count:200
+    arbitrary_expr (fun e ->
+      List.for_all
+        (fun (a, b) -> eval_bool (not_ (not_ e)) a b = eval_bool e a b)
+        [ (false, false); (false, true); (true, false); (true, true) ])
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"eval: De Morgan" ~count:200
+    (QCheck.pair arbitrary_expr arbitrary_expr) (fun (e1, e2) ->
+      List.for_all
+        (fun (a, b) ->
+          eval_bool (not_ (e1 &&& e2)) a b
+          = eval_bool (not_ e1 ||| not_ e2) a b)
+        [ (false, false); (false, true); (true, false); (true, true) ])
+
+let prop_rename_stable =
+  QCheck.Test.make ~name:"rename: prefix leaves input-only exprs intact"
+    ~count:200 arbitrary_expr (fun e ->
+      let p = { state = []; body = [ Output (0, e) ] } in
+      let renamed = Behavior.Rename.with_prefix "z_" p in
+      List.for_all
+        (fun (a, b) ->
+          let out p =
+            (Behavior.Eval.activate p ~n_outputs:1 (Behavior.Eval.init p)
+               (act [ Bool a; Bool b ]))
+              .Behavior.Eval.outputs.(0)
+          in
+          out p = out renamed)
+        [ (false, false); (false, true); (true, false); (true, true) ])
+
+let () =
+  Alcotest.run "behavior"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "max_input_index" `Quick test_max_input_index;
+          Alcotest.test_case "max_output_index" `Quick test_max_output_index;
+          Alcotest.test_case "max_timer_index" `Quick test_max_timer_index;
+          Alcotest.test_case "free_variables" `Quick test_free_variables;
+          Alcotest.test_case "free_variables branches" `Quick
+            test_free_variables_branches;
+          Alcotest.test_case "assigned_variables" `Quick
+            test_assigned_variables;
+          Alcotest.test_case "pretty print" `Quick test_pretty_print;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "operators" `Quick test_eval_operators;
+          Alcotest.test_case "errors" `Quick test_eval_errors;
+          Alcotest.test_case "latched outputs" `Quick
+            test_eval_latched_outputs;
+          Alcotest.test_case "state persists" `Quick test_eval_state_persists;
+          Alcotest.test_case "timers" `Quick test_eval_timers;
+        ] );
+      ( "rename",
+        [
+          Alcotest.test_case "prefix" `Quick test_rename_prefix;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_rename_preserves_semantics;
+          Alcotest.test_case "disjointness" `Quick test_variables_disjoint;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "serial nots" `Quick test_merge_serial;
+          Alcotest.test_case "timer remap" `Quick test_merge_timer_remap;
+          Alcotest.test_case "errors" `Quick test_merge_errors;
+        ] );
+      ( "properties",
+        Testlib.qtests [ prop_double_negation; prop_de_morgan;
+                         prop_rename_stable ] );
+    ]

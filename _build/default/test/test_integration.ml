@@ -1,0 +1,130 @@
+(* End-to-end integration: for every library design, run the full tool
+   chain — partition, validate, rewrite, co-simulate, generate C, check
+   program size — exactly the flow a user of the framework exercises.
+   Also covers cross-algorithm agreement and file round-trips. *)
+
+module Graph = Netlist.Graph
+
+let check = Alcotest.check
+
+let full_pipeline d () =
+  let g = d.Designs.Design.network in
+  let name = d.Designs.Design.name in
+  (* 1. partition *)
+  let pd = Core.Paredown.run g in
+  let sol = pd.Core.Paredown.solution in
+  Testlib.check_ok (name ^ ": solution") (Core.Solution.check g sol);
+  (* 2. rewrite *)
+  let result = Codegen.Replace.apply g sol in
+  let g' = result.Codegen.Replace.network in
+  Testlib.check_ok
+    (name ^ ": rewritten network")
+    (Result.map_error (String.concat "; ") (Graph.validate g'));
+  check Alcotest.int
+    (name ^ ": inner counts agree")
+    (Core.Solution.total_inner_after g sol)
+    (Graph.inner_count g');
+  (* 3. verify by co-simulation *)
+  Testlib.check_ok
+    (name ^ ": equivalent")
+    (Result.map_error
+       (Format.asprintf "%a" Sim.Equiv.pp_mismatch)
+       (Sim.Equiv.check_random ~reference:g ~candidate:g' ~seed:31 ~steps:50));
+  (* 4. code generation for every programmable block *)
+  List.iter
+    (fun prog_id ->
+      let desc = Graph.descriptor g' prog_id in
+      let text =
+        Codegen.C_emit.program ~block_name:name
+          ~n_inputs:desc.Eblock.Descriptor.n_inputs
+          ~n_outputs:desc.Eblock.Descriptor.n_outputs
+          desc.Eblock.Descriptor.behavior
+      in
+      check Alcotest.bool (name ^ ": C emitted") true
+        (Testlib.contains text "eblock_step");
+      check Alcotest.bool
+        (name ^ ": fits the PIC")
+        true
+        (Codegen.Size.fits_pic16f628 desc.Eblock.Descriptor.behavior))
+    result.Codegen.Replace.programmable_ids
+
+let pipeline_cases =
+  List.map
+    (fun d ->
+      Alcotest.test_case d.Designs.Design.name `Quick (full_pipeline d))
+    Designs.Library.all
+
+(* exhaustive-based synthesis must be equivalent too *)
+let test_exhaustive_synthesis_equivalent () =
+  let g = Testlib.podium in
+  let sol = (Core.Exhaustive.run g).Core.Exhaustive.solution in
+  let result = Codegen.Replace.apply g sol in
+  Testlib.check_ok "exhaustive synthesis equivalent"
+    (Result.map_error
+       (Format.asprintf "%a" Sim.Equiv.pp_mismatch)
+       (Sim.Equiv.check_random ~reference:g
+          ~candidate:result.Codegen.Replace.network ~seed:77 ~steps:60))
+
+(* a synthesised network synthesises again to itself (fixpoint):
+   programmable blocks are not partitionable *)
+let test_synthesis_fixpoint () =
+  let g = Testlib.podium in
+  let once, _ = Codegen.Replace.synthesize g in
+  let twice, pd2 = Codegen.Replace.synthesize once.Codegen.Replace.network in
+  check Alcotest.int "no further partitions" 0
+    (Core.Solution.programmable_count pd2.Core.Paredown.solution);
+  check Alcotest.int "same inner count"
+    (Graph.inner_count once.Codegen.Replace.network)
+    (Graph.inner_count twice.Codegen.Replace.network)
+
+(* save -> load -> synthesise from a netlist file, the CLI round trip *)
+let test_file_roundtrip_pipeline () =
+  let g = Designs.Library.noise_at_night_detector.Designs.Design.network in
+  let path = Filename.temp_file "paredown_test" ".ebn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Netlist.Textio.write_file path ~name:"noise" g;
+      let name, loaded = Netlist.Textio.read_file path in
+      check (Alcotest.option Alcotest.string) "name" (Some "noise") name;
+      let result, _ = Codegen.Replace.synthesize loaded in
+      Testlib.check_ok "pipeline from file"
+        (Result.map_error
+           (Format.asprintf "%a" Sim.Equiv.pp_mismatch)
+           (Sim.Equiv.check_random ~reference:loaded
+              ~candidate:result.Codegen.Replace.network ~seed:5 ~steps:40)))
+
+(* the multi-shape extension end to end: bigger blocks, still equivalent *)
+let test_multi_shape_pipeline () =
+  let g = Testlib.podium in
+  let config =
+    {
+      Core.Paredown.default_config with
+      shapes =
+        [ Core.Shape.default; Core.Shape.make ~inputs:4 ~outputs:4 ~cost:1.9 () ];
+    }
+  in
+  let result, pd = Codegen.Replace.synthesize ~config g in
+  check Alcotest.int "single 4x4 block" 1
+    (Core.Solution.programmable_count pd.Core.Paredown.solution);
+  Testlib.check_ok "4x4 synthesis equivalent"
+    (Result.map_error
+       (Format.asprintf "%a" Sim.Equiv.pp_mismatch)
+       (Sim.Equiv.check_random ~reference:g
+          ~candidate:result.Codegen.Replace.network ~seed:41 ~steps:60))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("full pipeline (library)", pipeline_cases);
+      ( "variations",
+        [
+          Alcotest.test_case "exhaustive synthesis" `Quick
+            test_exhaustive_synthesis_equivalent;
+          Alcotest.test_case "synthesis fixpoint" `Quick
+            test_synthesis_fixpoint;
+          Alcotest.test_case "file round trip" `Quick
+            test_file_roundtrip_pipeline;
+          Alcotest.test_case "multi-shape" `Quick test_multi_shape_pipeline;
+        ] );
+    ]
