@@ -1,0 +1,26 @@
+# Convenience targets mirroring .github/workflows/ci.yml for
+# environments without Actions.
+
+.PHONY: all build test check bench tables clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The CI gate: build, tests, and the §4.2 closed-form assertion
+# (run_experiments scale exits nonzero if fit checks != n(n+1)/2).
+check: build test
+	dune exec bin/run_experiments.exe -- scale
+
+tables:
+	BENCH_TABLES_ONLY=1 dune exec bench/main.exe
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

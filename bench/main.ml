@@ -207,6 +207,27 @@ let power_tests =
                Designs.Library.podium_timer_3));
     ]
 
+let obs_tests =
+  (* The null-sink span and a counter bump are the per-call costs the
+     instrumented hot paths pay when tracing is off; they must stay in
+     the nanoseconds for the <5% table1 regression budget to hold. *)
+  let c = Obs.Metrics.counter "bench.obs.scratch" in
+  let g20 = random_design ~seed:3 ~inner:20 in
+  Test.make_grouped ~name:"obs"
+    [
+      Test.make ~name:"span-null-sink"
+        (Staged.stage (fun () -> Obs.Trace.with_span "bench" (fun () -> ())));
+      Test.make ~name:"counter-incr"
+        (Staged.stage (fun () -> Obs.Metrics.incr c));
+      Test.make ~name:"paredown-20-chrome-traced"
+        (Staged.stage (fun () ->
+             let r = Obs.Chrome.create () in
+             Obs.Trace.set_sink (Obs.Chrome.sink r);
+             let sol = paredown_solution g20 in
+             Obs.Trace.reset ();
+             sol));
+    ]
+
 let parse_tests =
   let source =
     Behavior.Ast.program_to_string
@@ -224,7 +245,8 @@ let all_tests =
   Test.make_grouped ~name:"paredown"
     [
       table1_tests; table2_tests; scale_tests; worstcase_tests;
-      ablation_tests; codegen_tests; sim_tests; power_tests; parse_tests;
+      ablation_tests; codegen_tests; sim_tests; power_tests; obs_tests;
+      parse_tests;
     ]
 
 let run_benchmarks () =

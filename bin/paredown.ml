@@ -6,6 +6,67 @@ open Cmdliner
 
 module Graph = Netlist.Graph
 
+(* ------------------------------------------------------------------ *)
+(* Observability options, common to every subcommand: --trace FILE
+   records a Chrome trace-event JSON file of the run, --metrics prints
+   the counter registry afterwards (see doc/observability.md). *)
+
+type obs_opts = {
+  trace_file : string option;
+  metrics : bool;
+}
+
+let obs_term =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a Chrome trace-event JSON file of this run to \
+                   $(docv); open it in Perfetto (ui.perfetto.dev) or \
+                   chrome://tracing.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the observability counters (fit checks, search \
+                   nodes, packets, emitted bytes, ...) after the command.")
+  in
+  Term.(const (fun trace_file metrics -> { trace_file; metrics })
+        $ trace $ metrics)
+
+let with_obs opts f =
+  (* Open the trace file before doing any work so a bad path fails
+     fast, not after a long run. *)
+  let recorder =
+    Option.map
+      (fun path ->
+        let oc =
+          try open_out path with
+          | Sys_error msg ->
+            Printf.eprintf "paredown: cannot write trace file: %s\n" msg;
+            exit 2
+        in
+        let r = Obs.Chrome.create () in
+        Obs.Trace.set_sink (Obs.Chrome.sink r);
+        (path, oc, r))
+      opts.trace_file
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.reset ();
+      Option.iter
+        (fun (path, oc, r) ->
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Obs.Chrome.contents r));
+          Printf.eprintf "trace: %d events written to %s\n"
+            (Obs.Chrome.event_count r) path)
+        recorder;
+      if opts.metrics then begin
+        print_newline ();
+        print_string (Obs.Metrics.to_table ~omit_zero:true ())
+      end)
+    f
+
 let load_network name_or_path =
   match Designs.Library.find name_or_path with
   | Some d -> (d.Designs.Design.name, d.Designs.Design.network)
@@ -82,7 +143,8 @@ let print_solution g sol =
 (* list *)
 
 let list_cmd =
-  let run () =
+  let run obs =
+    with_obs obs @@ fun () ->
     List.iter
       (fun d ->
         Printf.printf "%-28s %2d inner  %s\n" d.Designs.Design.name
@@ -90,7 +152,7 @@ let list_cmd =
       Designs.Library.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List the built-in design library.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 (* show *)
 
@@ -104,7 +166,8 @@ let show_cmd =
          & info [ "stats" ] ~doc:"Print structural statistics instead of \
                                   the netlist.")
   in
-  let run design dot stats =
+  let run obs design dot stats =
+    with_obs obs @@ fun () ->
     let name, g = load_network design in
     Printf.printf "%s\n" name;
     if stats then Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute g)
@@ -115,18 +178,22 @@ let show_cmd =
     Option.iter (fun path -> Netlist.Dot.write_file path g) dot
   in
   Cmd.v (Cmd.info "show" ~doc:"Print a design's netlist.")
-    Term.(const run $ design_arg $ dot_arg $ stats_arg)
+    Term.(const run $ obs_term $ design_arg $ dot_arg $ stats_arg)
 
 (* partition *)
 
 let partition_cmd =
-  let trace_arg =
+  let explain_arg =
     Arg.(value & flag
-         & info [ "trace" ] ~doc:"Print the PareDown decision trace.")
+         & info [ "explain" ]
+             ~doc:"Print the PareDown decision trace (ranks, removals, \
+                   accepts).  For a timeline of the run itself use the \
+                   global $(b,--trace) $(i,FILE).")
   in
-  let run design algorithm shape trace =
+  let run obs design algorithm shape explain =
+    with_obs obs @@ fun () ->
     let _, g = load_network design in
-    if trace && algorithm = `Paredown then begin
+    if explain && algorithm = `Paredown then begin
       let config =
         { Core.Paredown.default_config with shapes = [ shape ] }
       in
@@ -141,7 +208,9 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Partition a design onto programmable blocks.")
-    Term.(const run $ design_arg $ algorithm_arg $ shape_args $ trace_arg)
+    Term.(
+      const run $ obs_term $ design_arg $ algorithm_arg $ shape_args
+      $ explain_arg)
 
 (* synth *)
 
@@ -168,7 +237,8 @@ let synth_cmd =
              ~doc:"Write the synthesised netlist (including defblock \
                    sections for the programmable blocks) to $(docv).")
   in
-  let run design algorithm shape emit_c dot verify save =
+  let run obs design algorithm shape emit_c dot verify save =
+    with_obs obs @@ fun () ->
     let name, g = load_network design in
     let sol = partition_network ~algorithm ~shape g in
     let result = Codegen.Replace.apply g sol in
@@ -211,8 +281,8 @@ let synth_cmd =
        ~doc:"Partition, replace with programmable blocks, and optionally \
              emit C and verify.")
     Term.(
-      const run $ design_arg $ algorithm_arg $ shape_args $ emit_c_arg
-      $ dot_arg $ verify_arg $ save_arg)
+      const run $ obs_term $ design_arg $ algorithm_arg $ shape_args
+      $ emit_c_arg $ dot_arg $ verify_arg $ save_arg)
 
 (* simulate *)
 
@@ -229,7 +299,8 @@ let simulate_cmd =
          & info [ "vcd" ] ~docv:"FILE"
              ~doc:"Also dump the primary-output waveform as VCD to $(docv).")
   in
-  let run design steps seed vcd =
+  let run obs design steps seed vcd =
+    with_obs obs @@ fun () ->
     let name, g = load_network design in
     let engine = Sim.Engine.create g in
     let rng = Prng.create seed in
@@ -253,7 +324,7 @@ let simulate_cmd =
     Option.iter (fun path -> Sim.Vcd.write_file path g script) vcd
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Drive a design with random stimuli.")
-    Term.(const run $ design_arg $ steps_arg $ seed_arg $ vcd_arg)
+    Term.(const run $ obs_term $ design_arg $ steps_arg $ seed_arg $ vcd_arg)
 
 (* generate *)
 
@@ -268,7 +339,8 @@ let generate_cmd =
     Arg.(value & opt (some string) None
          & info [ "save" ] ~docv:"FILE" ~doc:"Write the netlist to $(docv).")
   in
-  let run inner seed save =
+  let run obs inner seed save =
+    with_obs obs @@ fun () ->
     let rng = Prng.create seed in
     let g = Randgen.Generator.generate ~rng ~inner () in
     let name = Printf.sprintf "random-%d-%d" inner seed in
@@ -278,7 +350,7 @@ let generate_cmd =
     Format.eprintf "%a@." Graph.pp g
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a random eBlock design.")
-    Term.(const run $ inner_arg $ seed_arg $ save_arg)
+    Term.(const run $ obs_term $ inner_arg $ seed_arg $ save_arg)
 
 let () =
   let info =

@@ -1,5 +1,10 @@
 open Behavior.Ast
 
+let m_programs =
+  Obs.Metrics.counter "codegen.c_programs" ~doc:"C firmware programs emitted"
+let m_bytes =
+  Obs.Metrics.counter "codegen.c_bytes" ~doc:"C source bytes emitted"
+
 let value = function
   | Bool true -> "1"
   | Bool false -> "0"
@@ -64,6 +69,8 @@ let c_type_of_value = function
   | Int _ -> "int"
 
 let program ?(block_name = "programmable_eblock") ~n_inputs ~n_outputs p =
+  Obs.Trace.with_span "codegen.emit_c" ~args:[ ("block", block_name) ]
+  @@ fun () ->
   let buf = Buffer.create 2048 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   out "/* %s: generated eBlock firmware step function.\n" block_name;
@@ -88,6 +95,8 @@ let program ?(block_name = "programmable_eblock") ~n_inputs ~n_outputs p =
   out "void eblock_step(void) {\n";
   List.iter (emit_stmt buf 2) p.body;
   out "}\n";
+  Obs.Metrics.incr m_programs;
+  Obs.Metrics.add m_bytes (Buffer.length buf);
   Buffer.contents buf
 
 let write_file path ?block_name ~n_inputs ~n_outputs p =

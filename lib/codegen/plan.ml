@@ -2,6 +2,11 @@ module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
 module Cut = Netlist.Cut
 
+let m_plans = Obs.Metrics.counter "codegen.plans_built" ~doc:"merge plans built"
+let m_merged =
+  Obs.Metrics.counter "codegen.merged_nodes"
+    ~doc:"pre-defined blocks folded into programmable blocks"
+
 type t = {
   members : Node_id.t list;
   program : Behavior.Ast.program;
@@ -36,6 +41,9 @@ let index_of_endpoint what endpoints (ep : Graph.endpoint) =
   find 0 endpoints
 
 let build g set =
+  Obs.Trace.with_span "codegen.plan_build"
+    ~args:[ ("members", string_of_int (Node_id.Set.cardinal set)) ]
+  @@ fun () ->
   if Node_id.Set.is_empty set then error "empty partition";
   Node_id.Set.iter
     (fun id ->
@@ -89,6 +97,8 @@ let build g set =
   in
   let merge_members = List.map member_of_id members in
   let program = Behavior.Merge.merge merge_members in
+  Obs.Metrics.incr m_plans;
+  Obs.Metrics.add m_merged (List.length members);
   let output_init =
     Array.of_list
       (List.map

@@ -1,6 +1,10 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
 
+let m_replaced =
+  Obs.Metrics.counter "codegen.partitions_replaced"
+    ~doc:"partitions rewritten into programmable blocks"
+
 type t = {
   network : Graph.t;
   programmable_ids : Node_id.t list;
@@ -40,9 +44,15 @@ let replace_one g index members =
              ~dst:(dst.Graph.node, dst.Graph.port))
          g
   in
+  Obs.Metrics.incr m_replaced;
   (g, prog_id)
 
 let apply g solution =
+  Obs.Trace.with_span "codegen.replace"
+    ~args:
+      [ ("partitions",
+         string_of_int (List.length solution.Core.Solution.partitions)) ]
+  @@ fun () ->
   let rec rewrite g seen prog_ids index = function
     | [] -> { network = g; programmable_ids = List.rev prog_ids }
     | p :: rest ->

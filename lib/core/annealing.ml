@@ -1,6 +1,18 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
 
+let m_runs = Obs.Metrics.counter "core.annealing.runs" ~doc:"annealings performed"
+let m_proposed =
+  Obs.Metrics.counter "core.annealing.moves_proposed" ~doc:"moves proposed"
+let m_accepted =
+  Obs.Metrics.counter "core.annealing.moves_accepted" ~doc:"moves accepted"
+let m_steps =
+  Obs.Metrics.counter "core.annealing.temperature_steps"
+    ~doc:"cooling-schedule steps taken"
+let g_final_temperature =
+  Obs.Metrics.gauge "core.annealing.final_temperature"
+    ~doc:"temperature at the end of the last run"
+
 type config = {
   shapes : Shape.t list;
   partition_config : Partition.config;
@@ -154,11 +166,19 @@ let propose ~config g rng partitions =
   | Grow | Shrink | Dissolve | Merge -> None
 
 let run ?(config = default_config) ?(start = Solution.empty) g =
+  Obs.Trace.with_span "annealing.run"
+    ~args:
+      [ ("inner", string_of_int (Graph.inner_count g));
+        ("iterations", string_of_int config.iterations) ]
+  @@ fun () ->
   let rng = Prng.create config.seed in
   let proposed = ref 0 and accepted = ref 0 in
   let rec anneal temperature current current_energy best best_energy
       remaining =
-    if remaining = 0 then best
+    if remaining = 0 then begin
+      Obs.Metrics.set g_final_temperature temperature;
+      best
+    end
     else begin
       incr proposed;
       let next_state =
@@ -192,4 +212,8 @@ let run ?(config = default_config) ?(start = Solution.empty) g =
     anneal config.initial_temperature start start_energy start start_energy
       config.iterations
   in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_proposed !proposed;
+  Obs.Metrics.add m_accepted !accepted;
+  Obs.Metrics.add m_steps config.iterations;
   { solution = best; moves_accepted = !accepted; moves_proposed = !proposed }

@@ -1,6 +1,17 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
 
+let m_runs = Obs.Metrics.counter "core.exhaustive.runs" ~doc:"searches performed"
+let m_nodes =
+  Obs.Metrics.counter "core.exhaustive.nodes_explored"
+    ~doc:"search-tree nodes visited"
+let m_leaves =
+  Obs.Metrics.counter "core.exhaustive.leaves_checked"
+    ~doc:"complete assignments validated"
+let m_deadline_hits =
+  Obs.Metrics.counter "core.exhaustive.deadline_hits"
+    ~doc:"searches abandoned at the deadline"
+
 type objective =
   | Fewest_blocks
   | Lowest_cost
@@ -60,6 +71,9 @@ let solution_of_bins ~config g bins =
   build [] bins
 
 let run ?(config = default_config) ?deadline_s g =
+  Obs.Trace.with_span "exhaustive.run"
+    ~args:[ ("inner", string_of_int (Graph.inner_count g)) ]
+  @@ fun () ->
   let blocks = Array.of_list (Graph.partitionable_nodes g) in
   let n = Array.length blocks in
   (* Inner blocks that can never be covered (e.g. communication blocks)
@@ -83,7 +97,7 @@ let run ?(config = default_config) ?deadline_s g =
     | Fewest_blocks -> Solution.compare_quality g
     | Lowest_cost -> Solution.compare_cost g
   in
-  let start = Sys.time () in
+  let start = Obs.Clock.now_ns () in
   let nodes_explored = ref 0 in
   let leaves_checked = ref 0 in
   let best = ref Solution.empty in
@@ -96,7 +110,7 @@ let run ?(config = default_config) ?deadline_s g =
   let check_deadline () =
     match deadline_s with
     | Some budget when !nodes_explored land 1023 = 0 ->
-      if Sys.time () -. start > budget then raise Deadline
+      if Obs.Clock.elapsed_s start > budget then raise Deadline
     | Some _ | None -> ()
   in
   let consider_leaf bins_open unassigned =
@@ -152,7 +166,13 @@ let run ?(config = default_config) ?deadline_s g =
   in
   (match assign 0 0 0 0. with
    | () -> ()
-   | exception Deadline -> timed_out := true);
+   | exception Deadline ->
+     timed_out := true;
+     Obs.Metrics.incr m_deadline_hits;
+     Obs.Trace.instant "exhaustive.deadline");
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_nodes !nodes_explored;
+  Obs.Metrics.add m_leaves !leaves_checked;
   {
     solution = !best;
     outcome = (if !timed_out then Timed_out else Optimal);

@@ -53,5 +53,7 @@ type result = {
 }
 
 val run : ?config:config -> ?deadline_s:float -> Graph.t -> result
-(** [deadline_s] is a CPU-seconds budget (measured with [Sys.time]).  The
-    returned solution always passes {!Solution.check}. *)
+(** [deadline_s] is an elapsed-seconds budget, measured with the shared
+    monotonic clock ({!Obs.Clock}) like every other duration in the
+    tool chain.  The returned solution always passes
+    {!Solution.check}. *)

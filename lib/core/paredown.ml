@@ -1,6 +1,16 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
 
+let m_runs = Obs.Metrics.counter "core.paredown.runs" ~doc:"decompositions performed"
+let m_candidates =
+  Obs.Metrics.counter "core.paredown.candidates"
+    ~doc:"candidate partitions evaluated (outer iterations)"
+let m_fit_checks =
+  Obs.Metrics.counter "core.paredown.fit_checks"
+    ~doc:"fits-in-a-programmable-block tests (§4.2: at most n(n+1)/2)"
+let m_removals =
+  Obs.Metrics.counter "core.paredown.removals" ~doc:"border blocks evicted"
+
 type tie_break =
   | Greatest_indegree
   | Greatest_outdegree
@@ -226,6 +236,9 @@ let removal_choice ?(config = default_config) g candidate =
 (* The decomposition method (Figure 4).                                *)
 
 let run ?(config = default_config) ?(record_trace = false) g =
+  Obs.Trace.with_span "paredown.run"
+    ~args:[ ("inner", string_of_int (Graph.inner_count g)) ]
+  @@ fun () ->
   let levels = Graph.levels g in
   let trace = ref [] in
   (* Trace payloads (border ranks in particular) are costly to build, so
@@ -294,6 +307,10 @@ let run ?(config = default_config) ?(record_trace = false) g =
     end
   in
   let partitions = List.rev (main eligible []) in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_candidates !outer;
+  Obs.Metrics.add m_fit_checks !fit_checks;
+  Obs.Metrics.add m_removals !removals;
   {
     solution = { Solution.partitions };
     stats =

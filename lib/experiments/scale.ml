@@ -2,17 +2,23 @@ type point = {
   inner : int;
   seconds : float;
   fit_checks : int;
+  expected_fit_checks : int option;
   total : int;
   prog : int;
 }
 
-let measure g =
+let closed_form n = n * (n + 1) / 2
+
+let measure ?expected g =
   let result, seconds = Report.Timing.time (fun () -> Core.Paredown.run g) in
   let sol = result.Core.Paredown.solution in
+  let inner = Netlist.Graph.inner_count g in
   {
-    inner = Netlist.Graph.inner_count g;
+    inner;
     seconds;
     fit_checks = result.Core.Paredown.stats.Core.Paredown.fit_checks;
+    expected_fit_checks =
+      Option.map (fun f -> f inner) (expected : (int -> int) option);
     total = Core.Solution.total_inner_after g sol;
     prog = Core.Solution.programmable_count sol;
   }
@@ -26,11 +32,19 @@ let run_random ?(seed = 465) ?(sizes = [ 50; 100; 200; 465 ]) () =
 
 let run_worst_case ?(sizes = [ 10; 20; 40; 80 ]) () =
   List.map
-    (fun inner -> measure (Randgen.Generator.worst_case ~inner))
+    (fun inner ->
+      measure ~expected:closed_form (Randgen.Generator.worst_case ~inner))
     sizes
 
 let to_table points =
-  let headers = [ "Inner"; "Time"; "Fit checks"; "Total"; "Prog" ] in
+  let with_expected =
+    List.exists (fun p -> p.expected_fit_checks <> None) points
+  in
+  let headers =
+    [ "Inner"; "Time"; "Fit checks" ]
+    @ (if with_expected then [ "n(n+1)/2" ] else [])
+    @ [ "Total"; "Prog" ]
+  in
   let rows =
     List.map
       (fun p ->
@@ -38,9 +52,15 @@ let to_table points =
           string_of_int p.inner;
           Report.Timing.format_seconds p.seconds;
           string_of_int p.fit_checks;
-          string_of_int p.total;
-          string_of_int p.prog;
-        ])
+        ]
+        @ (if with_expected then
+             [ (match p.expected_fit_checks with
+                | Some e ->
+                  Printf.sprintf "%d %s" e
+                    (if e = p.fit_checks then "ok" else "MISMATCH")
+                | None -> "--") ]
+           else [])
+        @ [ string_of_int p.total; string_of_int p.prog ])
       points
   in
   Report.Table.render ~headers ~rows ()

@@ -6,18 +6,27 @@ type point = {
   inner : int;
   seconds : float;
   fit_checks : int;
+  expected_fit_checks : int option;
+      (** the §4.2 closed form [n(n+1)/2], on families where it is exact *)
   total : int;
   prog : int;
 }
 
+val closed_form : int -> int
+(** [closed_form n] = n·(n+1)/2, the §4.2 worst-case fit-check count. *)
+
 val run_random :
   ?seed:int -> ?sizes:int list -> unit -> point list
 (** PareDown on one random design per size; default sizes
-    [50; 100; 200; 465]. *)
+    [50; 100; 200; 465].  [expected_fit_checks] is [None]. *)
 
 val run_worst_case : ?sizes:int list -> unit -> point list
 (** PareDown on the worst-case family; [fit_checks] equals n·(n+1)/2
     exactly (candidate k performs k fit tests before isolating a single
-    block). *)
+    block).  Each point carries the closed form so callers — the
+    experiment harness and [test/test_obs.ml] — can assert the match,
+    cross-checked against the ["core.paredown.fit_checks"] counter. *)
 
 val to_table : point list -> string
+(** Worst-case rows gain an [n(n+1)/2] column and an [ok] mark when the
+    measured count equals the closed form. *)

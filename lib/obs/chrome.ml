@@ -1,0 +1,70 @@
+type t = {
+  buf : Buffer.t;
+  t0 : int64;
+  mutable events : int;
+}
+
+let create () = { buf = Buffer.create 4096; t0 = Clock.now_ns (); events = 0 }
+
+let event_count t = t.events
+
+(* JSON string escaping (RFC 8259): control characters, quote,
+   backslash. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_args buf = function
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      args;
+    Buffer.add_char buf '}'
+
+let add_event t ~ph ~name ~args ~ts_ns ~extra =
+  if t.events > 0 then Buffer.add_string t.buf ",\n";
+  t.events <- t.events + 1;
+  let ts = Clock.ns_to_us (Int64.sub ts_ns t.t0) in
+  Buffer.add_string t.buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\
+                     \"ts\":%.3f,\"pid\":1,\"tid\":1%s" (escape name) ph ts
+       extra);
+  add_args t.buf args;
+  Buffer.add_char t.buf '}'
+
+let sink t =
+  {
+    Trace.start_span =
+      (fun ~name ~args ~ts_ns -> add_event t ~ph:"B" ~name ~args ~ts_ns ~extra:"");
+    end_span =
+      (fun ~name ~ts_ns -> add_event t ~ph:"E" ~name ~args:[] ~ts_ns ~extra:"");
+    instant =
+      (fun ~name ~args ~ts_ns ->
+        add_event t ~ph:"i" ~name ~args ~ts_ns ~extra:",\"s\":\"t\"");
+    flush = ignore;
+  }
+
+let contents t = "[\n" ^ Buffer.contents t.buf ^ "\n]\n"
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (contents t))

@@ -1,0 +1,25 @@
+(** Chrome trace-event JSON sink.
+
+    Produces the JSON-array flavour of the Trace Event Format (duration
+    events ["B"]/["E"] plus instants ["i"]) understood by
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+    Timestamps are microseconds relative to the recorder's creation.
+
+    Events accumulate in memory (span cardinality in this tool chain is
+    per-run, not per-event, so a recording is small); {!contents} or
+    {!write_file} can be called at any point and always return a
+    complete, well-formed JSON document. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Trace.sink
+(** Install with [Obs.Trace.set_sink (Obs.Chrome.sink recorder)]. *)
+
+val event_count : t -> int
+
+val contents : t -> string
+(** The complete JSON array of events recorded so far. *)
+
+val write_file : t -> string -> unit

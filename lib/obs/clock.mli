@@ -1,0 +1,21 @@
+(** The one time source for the whole tool chain.
+
+    Monotonic (CLOCK_MONOTONIC via the bechamel stubs): immune to NTP
+    steps and wall-clock adjustments, unlike [Unix.gettimeofday], and
+    measuring elapsed real time, unlike [Sys.time] (CPU time).  Every
+    deadline, span timestamp, and reported duration in the repository
+    goes through this module so that numbers from different layers are
+    comparable. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (boot-time) origin.  Only differences
+    are meaningful. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] — seconds since [t0] (a previous {!now_ns}). *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to microseconds (the Chrome trace-event unit). *)

@@ -1,0 +1,107 @@
+type counter = {
+  c_name : string;
+  c_doc : string;
+  mutable count : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_doc : string;
+  mutable level : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+
+(* name -> metric; names are unique across both kinds *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let counter ?(doc = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some (Gauge _) ->
+    invalid_arg (Printf.sprintf "Obs.Metrics.counter: %S is a gauge" name)
+  | None ->
+    let c = { c_name = name; c_doc = doc; count = 0 } in
+    Hashtbl.add registry name (Counter c);
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge ?(doc = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some (Counter _) ->
+    invalid_arg (Printf.sprintf "Obs.Metrics.gauge: %S is a counter" name)
+  | None ->
+    let g = { g_name = name; g_doc = doc; level = 0. } in
+    Hashtbl.add registry name (Gauge g);
+    g
+
+let set g v = g.level <- v
+let gauge_value g = g.level
+
+type value =
+  | Count of int
+  | Value of float
+
+type entry = {
+  name : string;
+  doc : string;
+  value : value;
+}
+
+let entry_of = function
+  | Counter c -> { name = c.c_name; doc = c.c_doc; value = Count c.count }
+  | Gauge g -> { name = g.g_name; doc = g.g_doc; value = Value g.level }
+
+let snapshot ?(prefix = "") () =
+  Hashtbl.fold
+    (fun name m acc ->
+      if String.starts_with ~prefix name then entry_of m :: acc else acc)
+    registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find name = Option.map entry_of (Hashtbl.find_opt registry name)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.level <- 0.)
+    registry
+
+let string_of_value = function
+  | Count n -> string_of_int n
+  | Value v -> Printf.sprintf "%g" v
+
+let is_zero = function Count 0 | Value 0. -> true | Count _ | Value _ -> false
+
+(* A local renderer: Report.Table depends on this library (via
+   Report.Timing's clock), so obs cannot use it back. *)
+let to_table ?prefix ?(omit_zero = false) () =
+  let entries =
+    List.filter
+      (fun e -> not (omit_zero && is_zero e.value))
+      (snapshot ?prefix ())
+  in
+  if entries = [] then "(no metrics recorded)\n"
+  else begin
+    let cells =
+      List.map (fun e -> (e.name, string_of_value e.value, e.doc)) entries
+    in
+    let width f =
+      List.fold_left (fun w c -> max w (String.length (f c))) 0 cells
+    in
+    let name_w = width (fun (n, _, _) -> n)
+    and value_w = width (fun (_, v, _) -> v) in
+    let line (n, v, d) =
+      Printf.sprintf "%-*s  %*s%s\n" name_w n value_w v
+        (if d = "" then "" else "  " ^ d)
+    in
+    String.concat "" (List.map line cells)
+  end

@@ -1,0 +1,59 @@
+(** Process-wide registry of named counters and gauges.
+
+    Counters are the paper's work quantities made first-class: PareDown
+    fit checks (§4.2's [n(n+1)/2] bound), exhaustive search nodes,
+    annealing moves, simulator events, emitted C bytes.  Instrumented
+    code creates its counters once at module initialisation and bumps
+    them unconditionally — an increment is a single unboxed int store,
+    cheap enough for hot loops.
+
+    The registry is global and cumulative; harnesses that want
+    per-phase numbers call {!reset} between phases (see
+    [bin/run_experiments.ml]) or diff two {!snapshot}s. *)
+
+type counter
+type gauge
+
+val counter : ?doc:string -> string -> counter
+(** [counter name] registers (or retrieves — registration is idempotent
+    per name) the counter [name].  Conventional names are
+    dot-separated, e.g. ["core.paredown.fit_checks"]. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** [add c n] — bump by [n]; negative [n] is allowed but unusual. *)
+
+val counter_value : counter -> int
+
+val gauge : ?doc:string -> string -> gauge
+(** Last-write-wins instantaneous value (e.g. a temperature). *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Inspection} *)
+
+type value =
+  | Count of int
+  | Value of float
+
+type entry = {
+  name : string;
+  doc : string;
+  value : value;
+}
+
+val snapshot : ?prefix:string -> unit -> entry list
+(** All registered metrics, sorted by name; [prefix] filters by name
+    prefix. *)
+
+val find : string -> entry option
+
+val reset : unit -> unit
+(** Zero every counter and gauge (registrations persist). *)
+
+val to_table : ?prefix:string -> ?omit_zero:bool -> unit -> string
+(** Render the snapshot as an aligned two-column table.  [omit_zero]
+    (default [false]) drops metrics still at zero — useful after a run
+    that exercised only part of the pipeline. *)

@@ -1,0 +1,83 @@
+type sink = {
+  start_span : name:string -> args:(string * string) list -> ts_ns:int64 -> unit;
+  end_span : name:string -> ts_ns:int64 -> unit;
+  instant : name:string -> args:(string * string) list -> ts_ns:int64 -> unit;
+  flush : unit -> unit;
+}
+
+let null = {
+  start_span = (fun ~name:_ ~args:_ ~ts_ns:_ -> ());
+  end_span = (fun ~name:_ ~ts_ns:_ -> ());
+  instant = (fun ~name:_ ~args:_ ~ts_ns:_ -> ());
+  flush = ignore;
+}
+
+let current = ref null
+let nesting = ref 0
+
+let set_sink sink =
+  !current.flush ();
+  current := sink
+
+let reset () = set_sink null
+
+let enabled () = !current != null
+
+let depth () = !nesting
+
+let with_span ?(args = []) name f =
+  let sink = !current in
+  if sink == null then f ()
+  else begin
+    sink.start_span ~name ~args ~ts_ns:(Clock.now_ns ());
+    incr nesting;
+    let finish () =
+      decr nesting;
+      sink.end_span ~name ~ts_ns:(Clock.now_ns ())
+    in
+    match f () with
+    | result -> finish (); result
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(args = []) name =
+  let sink = !current in
+  if sink != null then sink.instant ~name ~args ~ts_ns:(Clock.now_ns ())
+
+(* ------------------------------------------------------------------ *)
+
+let stderr_sink () =
+  (* indentation tracks this sink's own view of nesting so it stays
+     correct even if installed mid-span *)
+  let level = ref 0 in
+  let starts = ref [] in  (* stack of start timestamps *)
+  let pad () = String.make (2 * !level) ' ' in
+  let pp_args args =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) args)
+  in
+  {
+    start_span =
+      (fun ~name ~args ~ts_ns ->
+        Printf.eprintf "%s> %s%s\n%!" (pad ()) name (pp_args args);
+        starts := ts_ns :: !starts;
+        incr level);
+    end_span =
+      (fun ~name ~ts_ns ->
+        let dur_ms =
+          match !starts with
+          | t0 :: rest ->
+            starts := rest;
+            Int64.to_float (Int64.sub ts_ns t0) /. 1e6
+          | [] -> 0.
+        in
+        if !level > 0 then decr level;
+        Printf.eprintf "%s< %s (%.3fms)\n%!" (pad ()) name dur_ms);
+    instant =
+      (fun ~name ~args ~ts_ns:_ ->
+        Printf.eprintf "%s! %s%s\n%!" (pad ()) name (pp_args args));
+    flush = (fun () -> flush stderr);
+  }

@@ -1,7 +1,7 @@
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, Obs.Clock.elapsed_s start)
 
 let time_best_of ~repeats f =
   if repeats < 1 then invalid_arg "Timing.time_best_of: repeats must be >= 1";

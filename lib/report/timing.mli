@@ -1,7 +1,8 @@
-(** Wall-clock timing helpers for the experiment harness. *)
+(** Timing helpers for the experiment harness, on the shared monotonic
+    clock ({!Obs.Clock}). *)
 
 val time : (unit -> 'a) -> 'a * float
-(** Result and elapsed wall-clock seconds. *)
+(** Result and elapsed (monotonic) seconds. *)
 
 val time_best_of : repeats:int -> (unit -> 'a) -> 'a * float
 (** Re-run the thunk [repeats] times and report the fastest run —

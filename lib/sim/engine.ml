@@ -1,6 +1,21 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
 
+let m_events =
+  Obs.Metrics.counter "sim.events_processed" ~doc:"queue events dispatched"
+let m_activations =
+  Obs.Metrics.counter "sim.activations" ~doc:"block behaviour evaluations"
+let m_packets =
+  Obs.Metrics.counter "sim.packets_sent"
+    ~doc:"packets sent on output change (the power proxy)"
+let m_deliveries =
+  Obs.Metrics.counter "sim.packets_delivered" ~doc:"Deliver events consumed"
+let m_settles =
+  Obs.Metrics.counter "sim.settles" ~doc:"settle calls completed"
+let m_settle_iterations =
+  Obs.Metrics.counter "sim.settle_iterations"
+    ~doc:"events drained across all settles"
+
 type value = Behavior.Ast.value
 
 type runtime = {
@@ -177,6 +192,7 @@ let present t ~time id port v =
       (fun e ->
         if e.Graph.src.Graph.port = port then begin
           t.packets <- t.packets + 1;
+          Obs.Metrics.incr m_packets;
           schedule t ~time:(time + max 1 (t.edge_delay e)) (Deliver (e, v))
         end)
       (Graph.fanout t.graph id)
@@ -186,6 +202,7 @@ let activate t ~time id ~fired =
   let d = Graph.descriptor t.graph id in
   let rt = state t id in
   t.activations <- t.activations + 1;
+  Obs.Metrics.incr m_activations;
   let act =
     { Behavior.Eval.inputs = Array.copy rt.input_latch; fired }
   in
@@ -213,8 +230,10 @@ let record_output_change t ~time id v =
 
 let process t ~time event =
   t.clock <- max t.clock time;
+  Obs.Metrics.incr m_events;
   match event with
   | Deliver (e, v) ->
+    Obs.Metrics.incr m_deliveries;
     let dst = e.Graph.dst.Graph.node in
     let rt = state t dst in
     let port = e.Graph.dst.Graph.port in
@@ -249,10 +268,15 @@ let run_until t horizon =
   loop ()
 
 let settle ?(limit = 100_000) t =
+  Obs.Trace.with_span "sim.settle" @@ fun () ->
   let rec loop remaining =
     if remaining = 0 then
       failwith "Engine.settle: event limit exceeded (self-retriggering network?)"
     else if step t then loop (remaining - 1)
+    else begin
+      Obs.Metrics.incr m_settles;
+      Obs.Metrics.add m_settle_iterations (limit - remaining)
+    end
   in
   loop limit
 

@@ -1,0 +1,341 @@
+(* The observability layer: clock, metrics registry, span tracer,
+   Chrome trace JSON, and the instrumented-pipeline invariants —
+   most importantly the §4.2 claim that PareDown performs exactly
+   n(n+1)/2 fit checks on the worst-case family, asserted through the
+   global counter. *)
+
+let fit_checks_counter = "core.paredown.fit_checks"
+
+let counter_value name =
+  match Obs.Metrics.find name with
+  | Some { Obs.Metrics.value = Obs.Metrics.Count n; _ } -> n
+  | Some _ -> Alcotest.failf "%s is not a counter" name
+  | None -> Alcotest.failf "counter %s not registered" name
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_monotonic () =
+  let rec loop i prev =
+    if i < 1000 then begin
+      let t = Obs.Clock.now_ns () in
+      if Int64.compare t prev < 0 then
+        Alcotest.failf "clock went backwards: %Ld then %Ld" prev t;
+      loop (i + 1) t
+    end
+  in
+  loop 0 (Obs.Clock.now_ns ());
+  Alcotest.(check bool) "elapsed is nonnegative" true
+    (Obs.Clock.elapsed_s (Obs.Clock.now_ns ()) >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_arithmetic () =
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  let base = Obs.Metrics.counter_value c in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 40;
+  Alcotest.(check int) "incr/add accumulate" (base + 42)
+    (Obs.Metrics.counter_value c);
+  let c' = Obs.Metrics.counter "test.obs.counter" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "registration is idempotent (same cell)"
+    (base + 43) (Obs.Metrics.counter_value c)
+
+let test_gauge_and_snapshot () =
+  let g = Obs.Metrics.gauge "test.obs.gauge" ~doc:"a gauge" in
+  Obs.Metrics.set g 1.5;
+  Alcotest.(check (float 0.)) "gauge holds last value" 1.5
+    (Obs.Metrics.gauge_value g);
+  (match Obs.Metrics.find "test.obs.gauge" with
+   | Some { Obs.Metrics.value = Obs.Metrics.Value v; doc; _ } ->
+     Alcotest.(check (float 0.)) "snapshot sees the gauge" 1.5 v;
+     Alcotest.(check string) "doc is kept" "a gauge" doc
+   | Some _ | None -> Alcotest.fail "gauge not found in registry");
+  let names = List.map (fun e -> e.Obs.Metrics.name)
+      (Obs.Metrics.snapshot ~prefix:"test.obs." ()) in
+  Alcotest.(check bool) "snapshot is name-sorted" true
+    (names = List.sort compare names);
+  Alcotest.(check bool) "prefix filters" true
+    (List.for_all (String.starts_with ~prefix:"test.obs.") names)
+
+let test_kind_clash_rejected () =
+  let _ = Obs.Metrics.counter "test.obs.clash" in
+  Alcotest.check_raises "counter name cannot become a gauge"
+    (Invalid_argument "Obs.Metrics.gauge: \"test.obs.clash\" is a counter")
+    (fun () -> ignore (Obs.Metrics.gauge "test.obs.clash"))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+(* A sink that records raw boundary events for structural checks. *)
+let recording_sink log =
+  {
+    Obs.Trace.start_span =
+      (fun ~name ~args:_ ~ts_ns:_ -> log := ("B", name) :: !log);
+    end_span = (fun ~name ~ts_ns:_ -> log := ("E", name) :: !log);
+    instant = (fun ~name ~args:_ ~ts_ns:_ -> log := ("i", name) :: !log);
+    flush = ignore;
+  }
+
+let test_span_nesting_and_balance () =
+  let log = ref [] in
+  Obs.Trace.set_sink (recording_sink log);
+  let inner_depth = ref (-1) in
+  Obs.Trace.with_span "outer" (fun () ->
+      Obs.Trace.with_span "inner" (fun () ->
+          inner_depth := Obs.Trace.depth ());
+      Obs.Trace.instant "mark");
+  Obs.Trace.reset ();
+  Alcotest.(check int) "depth inside two spans" 2 !inner_depth;
+  Alcotest.(check int) "depth balanced after" 0 (Obs.Trace.depth ());
+  Alcotest.(check (list (pair string string)))
+    "events are properly nested"
+    [ ("B", "outer"); ("B", "inner"); ("E", "inner"); ("i", "mark");
+      ("E", "outer") ]
+    (List.rev !log)
+
+let test_span_closed_on_exception () =
+  let log = ref [] in
+  Obs.Trace.set_sink (recording_sink log);
+  (try
+     Obs.Trace.with_span "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Obs.Trace.reset ();
+  Alcotest.(check int) "depth balanced after exception" 0 (Obs.Trace.depth ());
+  Alcotest.(check (list (pair string string)))
+    "span still closed" [ ("B", "doomed"); ("E", "doomed") ] (List.rev !log)
+
+let test_null_sink_is_default_and_cheap () =
+  Obs.Trace.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Trace.enabled ());
+  (* spans must still run their body and return its value *)
+  Alcotest.(check int) "body runs" 7
+    (Obs.Trace.with_span "off" (fun () -> 7));
+  Alcotest.(check int) "no depth tracked when off" 0 (Obs.Trace.depth ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace JSON *)
+
+(* A strict-enough JSON validator (objects, arrays, strings with
+   escapes, numbers, literals) — no JSON library is vendored, and the
+   trace format is exactly this subset. *)
+let validate_json s =
+  let n = String.length s in
+  let fail i msg = Alcotest.failf "invalid JSON at byte %d: %s" i msg in
+  let rec skip_ws i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then fail i "eof"
+    else
+      match s.[i] with
+      | '{' -> obj (skip_ws (i + 1)) true
+      | '[' -> arr (skip_ws (i + 1)) true
+      | '"' -> string_lit (i + 1)
+      | 't' -> lit i "true"
+      | 'f' -> lit i "false"
+      | 'n' -> lit i "null"
+      | '-' | '0' .. '9' -> number i
+      | c -> fail i (Printf.sprintf "unexpected %C" c)
+  and lit i word =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then i + l
+    else fail i ("expected " ^ word)
+  and number i =
+    let j = ref (if s.[i] = '-' then i + 1 else i) in
+    let digits start =
+      let k = ref start in
+      while !k < n && s.[!k] >= '0' && s.[!k] <= '9' do incr k done;
+      if !k = start then fail start "digit expected";
+      !k
+    in
+    j := digits !j;
+    if !j < n && s.[!j] = '.' then j := digits (!j + 1);
+    if !j < n && (s.[!j] = 'e' || s.[!j] = 'E') then begin
+      let k = !j + 1 in
+      let k = if k < n && (s.[k] = '+' || s.[k] = '-') then k + 1 else k in
+      j := digits k
+    end;
+    !j
+  and string_lit i =
+    if i >= n then fail i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+        if i + 1 >= n then fail i "dangling escape"
+        else
+          (match s.[i + 1] with
+           | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
+             string_lit (i + 2)
+           | 'u' ->
+             if i + 5 < n then string_lit (i + 6) else fail i "short \\u"
+           | c -> fail i (Printf.sprintf "bad escape %C" c))
+      | c when Char.code c < 0x20 -> fail i "raw control char in string"
+      | _ -> string_lit (i + 1)
+  and obj i first =
+    if i < n && s.[i] = '}' then i + 1
+    else begin
+      let i = if first then i else i in
+      let i = skip_ws i in
+      if i >= n || s.[i] <> '"' then fail i "object key expected";
+      let i = skip_ws (string_lit (i + 1)) in
+      if i >= n || s.[i] <> ':' then fail i "colon expected";
+      let i = skip_ws (value (i + 1)) in
+      if i < n && s.[i] = ',' then obj (skip_ws (i + 1)) false
+      else if i < n && s.[i] = '}' then i + 1
+      else fail i "comma or } expected"
+    end
+  and arr i first =
+    if i < n && s.[i] = ']' then i + 1
+    else begin
+      ignore first;
+      let i = skip_ws (value i) in
+      if i < n && s.[i] = ',' then arr (skip_ws (i + 1)) false
+      else if i < n && s.[i] = ']' then i + 1
+      else fail i "comma or ] expected"
+    end
+  in
+  let i = skip_ws (value 0) in
+  if skip_ws i <> n then fail i "trailing garbage"
+
+let test_chrome_json_well_formed () =
+  let r = Obs.Chrome.create () in
+  Obs.Trace.set_sink (Obs.Chrome.sink r);
+  (* adversarial names/args: quotes, backslashes, newlines, controls *)
+  Obs.Trace.with_span "outer \"quoted\"" ~args:[ ("k\\", "v\n\t\x01") ]
+    (fun () ->
+      Obs.Trace.instant "mark" ~args:[ ("a", "1"); ("b", "{}[]") ];
+      Obs.Trace.with_span "inner" (fun () -> ()));
+  Obs.Trace.reset ();
+  let json = Obs.Chrome.contents r in
+  validate_json json;
+  Alcotest.(check int) "5 events recorded" 5 (Obs.Chrome.event_count r);
+  Alcotest.(check bool) "B/E phases present" true
+    (Testlib.contains json "\"ph\":\"B\"" && Testlib.contains json "\"ph\":\"E\"");
+  Alcotest.(check bool) "instant phase present" true
+    (Testlib.contains json "\"ph\":\"i\"")
+
+let test_chrome_empty_recording_valid () =
+  let r = Obs.Chrome.create () in
+  validate_json (Obs.Chrome.contents r)
+
+let test_paredown_run_traces_spans () =
+  let r = Obs.Chrome.create () in
+  Obs.Trace.set_sink (Obs.Chrome.sink r);
+  ignore (Core.Paredown.run Testlib.podium);
+  Obs.Trace.reset ();
+  let json = Obs.Chrome.contents r in
+  validate_json json;
+  Alcotest.(check bool) "paredown.run span recorded" true
+    (Testlib.contains json "\"name\":\"paredown.run\"")
+
+(* ------------------------------------------------------------------ *)
+(* The instrumented pipeline: §4.2 closed form via the counter *)
+
+let test_fit_check_counter_matches_closed_form () =
+  List.iter
+    (fun n ->
+      let g = Randgen.Generator.worst_case ~inner:n in
+      let before = counter_value fit_checks_counter in
+      let r = Core.Paredown.run g in
+      let counted = counter_value fit_checks_counter - before in
+      let expected = n * (n + 1) / 2 in
+      Alcotest.(check int)
+        (Printf.sprintf "counter delta = n(n+1)/2 for n=%d" n)
+        expected counted;
+      Alcotest.(check int)
+        (Printf.sprintf "counter agrees with per-run stats for n=%d" n)
+        r.Core.Paredown.stats.Core.Paredown.fit_checks counted)
+    [ 3; 5; 10; 20; 40 ]
+
+let test_scale_worst_case_reports_closed_form () =
+  let points = Experiments.Scale.run_worst_case ~sizes:[ 5; 10 ] () in
+  List.iter
+    (fun p ->
+      Alcotest.(check (option int)) "expected column is the closed form"
+        (Some (Experiments.Scale.closed_form p.Experiments.Scale.inner))
+        p.Experiments.Scale.expected_fit_checks;
+      Alcotest.(check (option int)) "measured equals closed form"
+        (Some p.Experiments.Scale.fit_checks)
+        p.Experiments.Scale.expected_fit_checks)
+    points;
+  Alcotest.(check bool) "table carries the ok mark" true
+    (Testlib.contains (Experiments.Scale.to_table points) "ok")
+
+let test_exhaustive_deadline_counter () =
+  let before = counter_value "core.exhaustive.deadline_hits" in
+  (* 14 inner blocks exhaustively with a ~zero deadline must time out *)
+  let g =
+    Randgen.Generator.generate ~rng:(Prng.create 5) ~inner:14 ()
+  in
+  let r = Core.Exhaustive.run ~deadline_s:0.0 g in
+  Alcotest.(check bool) "search timed out" true
+    (r.Core.Exhaustive.outcome = Core.Exhaustive.Timed_out);
+  Alcotest.(check int) "deadline hit counted" (before + 1)
+    (counter_value "core.exhaustive.deadline_hits")
+
+let test_sim_packet_counter_tracks_engine () =
+  let before = counter_value "sim.packets_sent" in
+  let g = Testlib.podium in
+  let engine = Sim.Engine.create g in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create 3)
+      ~sensors:(Netlist.Graph.sensors g) ~steps:10 ~spacing:10
+  in
+  ignore (Sim.Stimulus.settled_outputs engine script);
+  let sent = counter_value "sim.packets_sent" - before in
+  Alcotest.(check int) "global counter matches the engine's own count"
+    (Sim.Engine.packet_count engine) sent;
+  Alcotest.(check bool) "some packets flowed" true (sent > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter arithmetic" `Quick
+            test_counter_arithmetic;
+          Alcotest.test_case "gauge and snapshot" `Quick
+            test_gauge_and_snapshot;
+          Alcotest.test_case "kind clash rejected" `Quick
+            test_kind_clash_rejected;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and balance" `Quick
+            test_span_nesting_and_balance;
+          Alcotest.test_case "closed on exception" `Quick
+            test_span_closed_on_exception;
+          Alcotest.test_case "null sink default" `Quick
+            test_null_sink_is_default_and_cheap;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "well-formed JSON" `Quick
+            test_chrome_json_well_formed;
+          Alcotest.test_case "empty recording" `Quick
+            test_chrome_empty_recording_valid;
+          Alcotest.test_case "paredown spans" `Quick
+            test_paredown_run_traces_spans;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "fit checks = n(n+1)/2 (worst case)" `Quick
+            test_fit_check_counter_matches_closed_form;
+          Alcotest.test_case "scale table closed form" `Quick
+            test_scale_worst_case_reports_closed_form;
+          Alcotest.test_case "exhaustive deadline hits" `Quick
+            test_exhaustive_deadline_counter;
+          Alcotest.test_case "sim packet counter" `Quick
+            test_sim_packet_counter_tracks_engine;
+        ] );
+    ]
