@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml for
 # environments without Actions.
 
-.PHONY: all build test check bench tables clean
+.PHONY: all build test check bench tables faults clean
 
 all: build
 
@@ -18,6 +18,11 @@ check: build test
 
 tables:
 	BENCH_TABLES_ONLY=1 dune exec bench/main.exe
+
+# Small fixed-seed fault-injection sweep: flat vs partitioned Table 1
+# designs under packet drops.  Deterministic — same output every run.
+faults:
+	dune exec bin/run_experiments.exe -- faults --trials 3
 
 bench:
 	dune exec bench/main.exe

@@ -9,6 +9,7 @@
      ablation/*  — PareDown ingredient variants and the aggregation baseline
      codegen/*   — merge + C emission
      sim/*       — simulator settle and VCD export on a library design
+     faults/*    — fault-injection hook overhead and degradation grading
      power/*     — the packet-count power proxy
      frontend/*  — behaviour-language parsing
 
@@ -198,6 +199,31 @@ let sim_tests =
         (Staged.stage (fun () -> Sim.Vcd.record g script));
     ]
 
+let fault_tests =
+  (* The ?faults hook must stay free when absent and near-free when the
+     plan is armed but trivial; the drop plan shows the live cost. *)
+  let g = Designs.Library.two_zone_security.Designs.Design.network in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create 21) ~sensors:(Graph.sensors g)
+      ~steps:30 ~spacing:15
+  in
+  let settle faults () =
+    let engine = Sim.Engine.create ?faults g in
+    Sim.Stimulus.settled_outputs engine script
+  in
+  Test.make_grouped ~name:"faults"
+    [
+      Test.make ~name:"settle-no-plan" (Staged.stage (settle None));
+      Test.make ~name:"settle-empty-plan"
+        (Staged.stage (settle (Some Sim.Fault.none)));
+      Test.make ~name:"settle-drop-5pct"
+        (Staged.stage (settle (Some (Sim.Fault.drop_all ~seed:7 0.05))));
+      Test.make ~name:"classify-drop-5pct"
+        (Staged.stage (fun () ->
+             Sim.Degrade.classify ~faults:(Sim.Fault.drop_all ~seed:7 0.05) g
+               script));
+    ]
+
 let power_tests =
   Test.make_grouped ~name:"power"
     [
@@ -245,8 +271,8 @@ let all_tests =
   Test.make_grouped ~name:"paredown"
     [
       table1_tests; table2_tests; scale_tests; worstcase_tests;
-      ablation_tests; codegen_tests; sim_tests; power_tests; obs_tests;
-      parse_tests;
+      ablation_tests; codegen_tests; sim_tests; fault_tests; power_tests;
+      obs_tests; parse_tests;
     ]
 
 let run_benchmarks () =

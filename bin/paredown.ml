@@ -326,6 +326,73 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Drive a design with random stimuli.")
     Term.(const run $ obs_term $ design_arg $ steps_arg $ seed_arg $ vcd_arg)
 
+(* faults *)
+
+let faults_cmd =
+  let design_opt =
+    let doc =
+      "Library design name or netlist file; every Table 1 design when \
+       omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 11
+         & info [ "seed" ]
+             ~doc:"Master seed for the stimulus script and every fault \
+                   plan; equal seeds reproduce the table byte for byte.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 20
+         & info [ "trials" ] ~doc:"Fault-plan seeds per drop rate.")
+  in
+  let drops_arg =
+    Arg.(value & opt (list float) [ 0.02; 0.05; 0.10 ]
+         & info [ "drop" ] ~docv:"RATES"
+             ~doc:"Comma-separated per-packet drop probabilities to sweep.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 30
+         & info [ "steps" ] ~doc:"Sensor flips in the stimulus script.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let run obs design seed trials drops steps csv =
+    with_obs obs @@ fun () ->
+    let config =
+      {
+        Experiments.Faults.default_config with
+        seed; trials; drop_rates = drops; steps;
+      }
+    in
+    let rows =
+      match design with
+      | None -> Experiments.Faults.run ~config ()
+      | Some d ->
+        let name, g = load_network d in
+        Experiments.Faults.run_network ~config ~name g
+    in
+    print_string (Experiments.Faults.to_table rows);
+    print_endline (Experiments.Faults.summary rows);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Experiments.Faults.to_csv rows)))
+      csv
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Sweep seeded packet-drop faults over flat and synthesised \
+             networks and tally the degradation outcomes (identical / \
+             glitch-recovered / wrong-value / diverged).")
+    Term.(
+      const run $ obs_term $ design_opt $ seed_arg $ trials_arg $ drops_arg
+      $ steps_arg $ csv_arg)
+
 (* generate *)
 
 let generate_cmd =
@@ -362,4 +429,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
-            generate_cmd ]))
+            faults_cmd; generate_cmd ]))

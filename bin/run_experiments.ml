@@ -1,5 +1,6 @@
-(* Regenerates every table and claim of the paper's evaluation (§5).
-   Subcommands: table1, table2, scale, worstcase, ablation, all. *)
+(* Regenerates every table and claim of the paper's evaluation (§5),
+   plus the fault-tolerance extension.  Subcommands: table1, table2,
+   scale, ablation, power, faults, all. *)
 
 open Cmdliner
 
@@ -103,6 +104,22 @@ let run_power seed steps () =
     (Experiments.Power.to_table (Experiments.Power.run ~seed ~steps ()));
   print_metrics_summary ()
 
+let run_faults seed trials csv_out () =
+  Obs.Metrics.reset ();
+  print_header
+    "Fault tolerance: degradation of flat vs partitioned networks under \
+     packet drops";
+  let config =
+    { Experiments.Faults.default_config with seed; trials }
+  in
+  let rows = Experiments.Faults.run ~config () in
+  print_string (Experiments.Faults.to_table rows);
+  print_endline (Experiments.Faults.summary rows);
+  Option.iter
+    (fun path -> write_csv path (Experiments.Faults.to_csv rows))
+    csv_out;
+  print_metrics_summary ()
+
 let cutoff_arg default =
   let doc = "Largest inner-block count attempted exhaustively." in
   Arg.(value & opt int default & info [ "exhaustive-cutoff" ] ~doc)
@@ -168,6 +185,22 @@ let power_cmd =
        ~doc:"Compare packet counts before and after synthesis.")
     term
 
+let faults_cmd =
+  let trials_arg =
+    Arg.(value & opt int 20
+         & info [ "trials" ] ~doc:"Fault-plan seeds per drop rate.")
+  in
+  let term =
+    Term.(
+      const (fun seed trials csv -> run_faults seed trials csv ())
+      $ seed_arg 11 $ trials_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run the fault-injection degradation sweep (flat vs \
+             partitioned).")
+    term
+
 let all_cmd =
   let term =
     Term.(
@@ -176,7 +209,8 @@ let all_cmd =
           run_table2 2005 1.0 11 None ();
           run_scale ();
           run_ablation 7 50 20 ();
-          run_power 23 200 ())
+          run_power 23 200 ();
+          run_faults 11 10 None ())
       $ const ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") term
@@ -189,4 +223,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
                     [ table1_cmd; table2_cmd; scale_cmd; ablation_cmd;
-                      power_cmd; all_cmd ]))
+                      power_cmd; faults_cmd; all_cmd ]))

@@ -15,6 +15,16 @@ type t = {
   paper : paper_row option;
 }
 
+(* "3=and2, 4=delay(10)" — so a failure message names the offending
+   blocks, not just their ids. *)
+let block_roster g ids =
+  String.concat ", "
+    (List.map
+       (fun id ->
+         Printf.sprintf "%d=%s" id
+           (Graph.descriptor g id).Eblock.Descriptor.name)
+       ids)
+
 let make ~name ~description ?paper ~nodes ~edges () =
   let g =
     List.fold_left
@@ -27,15 +37,20 @@ let make ~name ~description ?paper ~nodes ~edges () =
   (match Graph.validate g with
    | Ok () -> ()
    | Error problems ->
+     (* The validator's problems reference bare node ids; the roster
+        resolves them to block types. *)
      failwith
-       (Printf.sprintf "design %s is malformed: %s" name
-          (String.concat "; " problems)));
+       (Printf.sprintf "design %S is malformed: %s (blocks: %s)" name
+          (String.concat "; " problems)
+          (block_roster g (Graph.node_ids g))));
   (match paper with
    | Some row when row.inner_original <> Graph.inner_count g ->
      failwith
        (Printf.sprintf
-          "design %s has %d inner blocks but Table 1 says %d" name
-          (Graph.inner_count g) row.inner_original)
+          "design %S has %d inner blocks (%s) but its Table 1 row says %d"
+          name (Graph.inner_count g)
+          (block_roster g (Graph.inner_nodes g))
+          row.inner_original)
    | Some _ | None -> ());
   { name; description; network = g; paper }
 

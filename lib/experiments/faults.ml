@@ -1,0 +1,151 @@
+module Graph = Netlist.Graph
+
+type config = {
+  seed : int;
+  trials : int;
+  drop_rates : float list;
+  steps : int;
+  spacing : int;
+  settle_limit : int;
+}
+
+let default_config =
+  {
+    seed = 11;
+    trials = 20;
+    drop_rates = [ 0.02; 0.05; 0.10 ];
+    steps = 30;
+    spacing = 25;
+    settle_limit = 20_000;
+  }
+
+type tally = {
+  identical : int;
+  recovered : int;
+  wrong : int;
+  diverged : int;
+}
+
+let empty_tally = { identical = 0; recovered = 0; wrong = 0; diverged = 0 }
+
+let count outcome t =
+  match outcome with
+  | Sim.Degrade.Identical -> { t with identical = t.identical + 1 }
+  | Sim.Degrade.Glitch_recovered -> { t with recovered = t.recovered + 1 }
+  | Sim.Degrade.Wrong_value -> { t with wrong = t.wrong + 1 }
+  | Sim.Degrade.Diverged -> { t with diverged = t.diverged + 1 }
+
+type row = {
+  design : string;
+  drop : float;
+  trials : int;
+  flat_edges : int;
+  part_edges : int;
+  flat : tally;
+  part : tally;
+  flat_injected : int;
+  part_injected : int;
+}
+
+let run_network ?(config = default_config) ~name g =
+  let result, _ = Codegen.Replace.synthesize g in
+  let g' = result.Codegen.Replace.network in
+  let script =
+    Sim.Stimulus.random
+      ~rng:(Prng.create config.seed)
+      ~sensors:(Graph.sensors g) ~steps:config.steps ~spacing:config.spacing
+  in
+  (* One seed stream per network keeps the table stable when a single
+     design or rate is re-run in isolation. *)
+  let seed_rng = Prng.create (Hashtbl.hash (config.seed, name)) in
+  List.map
+    (fun drop ->
+      let tally_of net =
+        let rec loop t injected remaining =
+          if remaining = 0 then (t, injected)
+          else begin
+            let plan =
+              Sim.Fault.drop_all ~seed:(Prng.int seed_rng 1_000_000_000) drop
+            in
+            let run =
+              Sim.Degrade.classify ~settle_limit:config.settle_limit
+                ~faults:plan net script
+            in
+            loop
+              (count run.Sim.Degrade.outcome t)
+              (injected + Sim.Fault.total run.Sim.Degrade.injected)
+              (remaining - 1)
+          end
+        in
+        loop empty_tally 0 config.trials
+      in
+      let flat, flat_injected = tally_of g in
+      let part, part_injected = tally_of g' in
+      {
+        design = name;
+        drop;
+        trials = config.trials;
+        flat_edges = Graph.edge_count g;
+        part_edges = Graph.edge_count g';
+        flat;
+        part;
+        flat_injected;
+        part_injected;
+      })
+    config.drop_rates
+
+let run_design ?config d =
+  run_network ?config ~name:d.Designs.Design.name d.Designs.Design.network
+
+let run ?config () =
+  List.concat_map (run_design ?config) Designs.Library.table1
+
+let headers =
+  [
+    "Design"; "Drop"; "Edges"; "Edges'"; "Flat ok/gl/wr/dv";
+    "Part ok/gl/wr/dv"; "Inj"; "Inj'";
+  ]
+
+let tally_cell t =
+  Printf.sprintf "%d/%d/%d/%d" t.identical t.recovered t.wrong t.diverged
+
+let row_cells r =
+  [
+    r.design;
+    Printf.sprintf "%.0f %%" (100. *. r.drop);
+    string_of_int r.flat_edges;
+    string_of_int r.part_edges;
+    tally_cell r.flat;
+    tally_cell r.part;
+    string_of_int r.flat_injected;
+    string_of_int r.part_injected;
+  ]
+
+let to_table rows =
+  Report.Table.render ~headers ~rows:(List.map row_cells rows) ()
+
+let to_csv rows =
+  Report.Table.render_csv ~headers ~rows:(List.map row_cells rows)
+
+let summary rows =
+  let points = List.length rows in
+  let no_worse =
+    List.length
+      (List.filter (fun r -> r.part.identical >= r.flat.identical) rows)
+  in
+  let mean_pct f =
+    if points = 0 then 0.
+    else
+      100.
+      *. List.fold_left
+           (fun acc r ->
+             acc +. (float_of_int (f r) /. float_of_int (max 1 r.trials)))
+           0. rows
+      /. float_of_int points
+  in
+  Printf.sprintf
+    "partitioned no worse on %d/%d design-rate points (mean clean runs: \
+     flat %.0f %%, partitioned %.0f %%)"
+    no_worse points
+    (mean_pct (fun r -> r.flat.identical))
+    (mean_pct (fun r -> r.part.identical))

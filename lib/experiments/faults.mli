@@ -1,0 +1,60 @@
+(** Fault-tolerance experiment: flat vs PareDown-partitioned networks.
+
+    Collapsing inner blocks onto one programmable block removes physical
+    hops, and every hop is a fault site — so partitioning should change
+    (usually improve) fault exposure, a claim the paper's cost metrics
+    cannot see.  For each Table 1 design this experiment replays one
+    stimulus script over the original network and its synthesised
+    counterpart under a sweep of seeded packet-drop plans and tallies the
+    {!Sim.Degrade} outcome of every trial.
+
+    Everything is derived deterministically from [config.seed]; two runs
+    with the same configuration produce identical tables. *)
+
+type config = {
+  seed : int;  (** drives the stimulus script and every trial's plan *)
+  trials : int;  (** fault-plan seeds per (design, drop rate) point *)
+  drop_rates : float list;
+  steps : int;  (** sensor flips in the stimulus script *)
+  spacing : int;
+  settle_limit : int;  (** per-step event budget before [Diverged] *)
+}
+
+val default_config : config
+
+type tally = {
+  identical : int;
+  recovered : int;
+  wrong : int;
+  diverged : int;
+}
+
+type row = {
+  design : string;
+  drop : float;
+  trials : int;
+  flat_edges : int;  (** fault sites in the original network *)
+  part_edges : int;  (** fault sites after synthesis *)
+  flat : tally;
+  part : tally;
+  flat_injected : int;  (** faults that struck, summed over trials *)
+  part_injected : int;
+}
+
+val run_network :
+  ?config:config -> name:string -> Netlist.Graph.t -> row list
+(** One row per drop rate.  Synthesises the partitioned counterpart with
+    {!Codegen.Replace.synthesize} under its default configuration. *)
+
+val run_design : ?config:config -> Designs.Design.t -> row list
+
+val run : ?config:config -> unit -> row list
+(** Every Table 1 design. *)
+
+val to_table : row list -> string
+val to_csv : row list -> string
+
+val summary : row list -> string
+(** One line: on how many (design, rate) points the partitioned network
+    was at least as fault-tolerant (no smaller identical tally), and the
+    mean clean-outcome percentage on each side. *)

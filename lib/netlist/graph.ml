@@ -20,6 +20,15 @@ type t = {
   fanout_map : edge list Node_id.Map.t;
 }
 
+let equal_edge (a : edge) (b : edge) = a = b
+
+let compare_edge (a : edge) (b : edge) = compare a b
+
+let pp_edge ppf { src; dst } =
+  Format.fprintf ppf "%d.%d->%d.%d" src.node src.port dst.node dst.port
+
+let edge_to_string e = Format.asprintf "%a" pp_edge e
+
 exception Structural_error of string
 
 let error fmt =

@@ -23,6 +23,20 @@ type edge = {
   dst : endpoint;
 }
 
+val equal_edge : edge -> edge -> bool
+(** Structural equality.  An edge is fully identified by its two
+    endpoints (an input port accepts one driver), so this is the edge
+    identity used by per-connection tables such as fault plans. *)
+
+val compare_edge : edge -> edge -> int
+(** Total order consistent with {!equal_edge}: by source endpoint, then
+    destination. *)
+
+val pp_edge : Format.formatter -> edge -> unit
+(** Prints as ["src.port->dst.port"], e.g. ["2.0->5.1"]. *)
+
+val edge_to_string : edge -> string
+
 type node = {
   id : Node_id.t;
   descriptor : Eblock.Descriptor.t;

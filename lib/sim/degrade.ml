@@ -1,0 +1,122 @@
+module Graph = Netlist.Graph
+
+let m_runs =
+  Obs.Metrics.counter "sim.degrade.runs" ~doc:"degradation runs classified"
+let m_diverged =
+  Obs.Metrics.counter "sim.degrade.diverged"
+    ~doc:"degradation runs that hit the event limit"
+
+type outcome =
+  | Identical
+  | Glitch_recovered
+  | Wrong_value
+  | Diverged
+
+let severity = function
+  | Identical -> 0
+  | Glitch_recovered -> 1
+  | Wrong_value -> 2
+  | Diverged -> 3
+
+let outcome_to_string = function
+  | Identical -> "identical"
+  | Glitch_recovered -> "glitch-recovered"
+  | Wrong_value -> "wrong-value"
+  | Diverged -> "diverged"
+
+let outcome_code = function
+  | Identical -> "ok"
+  | Glitch_recovered -> "gl"
+  | Wrong_value -> "wr"
+  | Diverged -> "dv"
+
+let pp_outcome ppf o = Format.pp_print_string ppf (outcome_to_string o)
+
+type run = {
+  outcome : outcome;
+  injected : Fault.stats;
+  packets : int;
+  mismatched_steps : int;
+  steps : int;
+}
+
+let same_outputs a b =
+  List.for_all2
+    (fun (_, va) (_, vb) -> Behavior.Ast.equal_value va vb)
+    a b
+
+(* Replay the script on a fault-armed engine, settling after each step
+   as {!Stimulus.settled_outputs} does, but stopping (rather than
+   raising) when a settle exhausts its event limit. *)
+let faulty_observations ~settle_limit engine script =
+  let ordered =
+    List.stable_sort
+      (fun a b -> Int.compare a.Stimulus.time b.Stimulus.time)
+      script
+  in
+  let rec loop acc = function
+    | [] -> (List.rev acc, false)
+    | step :: rest ->
+      let time = max step.Stimulus.time (Engine.now engine) in
+      Engine.set_sensor_at engine ~time step.Stimulus.sensor
+        step.Stimulus.value;
+      (match Engine.settle ~limit:settle_limit engine with
+       | () -> loop (Engine.output_values engine :: acc) rest
+       | exception Engine.Event_limit_exceeded _ -> (List.rev acc, true))
+  in
+  loop [] ordered
+
+let classify_against ~tie_order ~settle_limit ~reference ~faults g script =
+  Obs.Metrics.incr m_runs;
+  let engine = Engine.create ~tie_order ~faults g in
+  let observed, diverged = faulty_observations ~settle_limit engine script in
+  let injected =
+    match Engine.fault_stats engine with
+    | Some s -> s
+    | None -> assert false  (* the engine above was created with ~faults *)
+  in
+  let steps = List.length reference in
+  let rec compare_points mismatches last_matched refs obs =
+    match refs, obs with
+    | [], _ | _, [] -> (mismatches, last_matched)
+    | (_, r) :: refs, o :: obs ->
+      if same_outputs r o then compare_points mismatches true refs obs
+      else compare_points (mismatches + 1) false refs obs
+  in
+  let compared_mismatches, last_matched =
+    compare_points 0 true reference observed
+  in
+  let unobserved = steps - List.length observed in
+  let outcome =
+    if diverged then begin
+      Obs.Metrics.incr m_diverged;
+      Diverged
+    end
+    else if compared_mismatches = 0 then Identical
+    else if last_matched then Glitch_recovered
+    else Wrong_value
+  in
+  {
+    outcome;
+    injected;
+    packets = Engine.packet_count engine;
+    mismatched_steps = compared_mismatches + max 0 unobserved;
+    steps;
+  }
+
+let clean_reference ~tie_order g script =
+  Stimulus.settled_outputs (Engine.create ~tie_order g) script
+
+let classify ?(tie_order = Engine.Fifo) ?(settle_limit = 100_000) ~faults g
+    script =
+  let reference = clean_reference ~tie_order g script in
+  classify_against ~tie_order ~settle_limit ~reference ~faults g script
+
+let sweep ?(tie_order = Engine.Fifo) ?(settle_limit = 100_000) ~plans g
+    script =
+  let reference = clean_reference ~tie_order g script in
+  List.map
+    (fun (name, faults) ->
+      (name, classify_against ~tie_order ~settle_limit ~reference ~faults g
+         script))
+    plans

@@ -1,0 +1,72 @@
+(** Graceful-degradation analysis: how a network misbehaves under faults.
+
+    A run replays one stimulus script twice over the same network — once
+    clean, once under a {!Fault.plan} — and compares the settled
+    primary-output values after every step (the same observation
+    {!Equiv} uses).  The mismatch pattern classifies the degradation:
+
+    - {!Identical}: every settled observation matches — the faults were
+      absorbed (dropped packets on already-quiet links, jitter the
+      settling hides, ...).
+    - {!Glitch_recovered}: some intermediate observations differ but the
+      network is back to agreeing with the clean run by the final step —
+      a transient glitch.
+    - {!Wrong_value}: the network still settles after every step, but
+      the final settled outputs are wrong — e.g. a toggle that missed a
+      packet and is now out of phase.
+    - {!Diverged}: the faulty run never went quiescent
+      ({!Engine.Event_limit_exceeded}) — livelock, an expected outcome
+      under duplication storms.
+
+    The classes are ordered from benign to severe; {!severity} exposes
+    that order. *)
+
+module Graph = Netlist.Graph
+
+type outcome =
+  | Identical
+  | Glitch_recovered
+  | Wrong_value
+  | Diverged
+
+val severity : outcome -> int
+(** 0 for {!Identical} up to 3 for {!Diverged}. *)
+
+val outcome_to_string : outcome -> string
+val outcome_code : outcome -> string
+(** Two-letter code for dense tables: ok / gl / wr / dv. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type run = {
+  outcome : outcome;
+  injected : Fault.stats;  (** faults that actually struck *)
+  packets : int;  (** send attempts in the faulty run *)
+  mismatched_steps : int;  (** observations differing from the clean run *)
+  steps : int;  (** script length compared *)
+}
+
+val classify :
+  ?tie_order:Engine.tie_order ->
+  ?settle_limit:int ->
+  faults:Fault.plan ->
+  Graph.t ->
+  Stimulus.script ->
+  run
+(** Replay [script] clean and under [faults] and classify.  Both runs use
+    the same [tie_order] (default {!Engine.Fifo}).  [settle_limit]
+    (default 100_000) bounds each per-step settle of the faulty run;
+    exceeding it yields {!Diverged} rather than an exception.  The clean
+    run is expected to settle: its {!Engine.Event_limit_exceeded}
+    propagates, since a design that livelocks without faults cannot be
+    graded. *)
+
+val sweep :
+  ?tie_order:Engine.tie_order ->
+  ?settle_limit:int ->
+  plans:(string * Fault.plan) list ->
+  Graph.t ->
+  Stimulus.script ->
+  (string * run) list
+(** {!classify} under each named plan, sharing one clean reference
+    run. *)

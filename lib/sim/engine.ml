@@ -19,7 +19,8 @@ let m_settle_iterations =
 type value = Behavior.Ast.value
 
 type runtime = {
-  env : Behavior.Eval.env;
+  mutable env : Behavior.Eval.env;
+      (* replaced wholesale on a spurious reset (fault injection) *)
   input_latch : value array;
   output_latch : value array;
   timer_gen : (int, int) Hashtbl.t;
@@ -31,6 +32,7 @@ type event =
   | Deliver of Graph.edge * value
   | Timer_expiry of Node_id.t * int * int  (* node, timer index, generation *)
   | Sensor_change of Node_id.t * bool
+  | Fault_reset of Node_id.t  (* spurious reset from the fault plan *)
 
 module Queue_key = struct
   type t = int * int * int  (* time, priority, unique counter *)
@@ -51,13 +53,34 @@ type t = {
   tie_order : tie_order;
   tie_rng : Prng.t option;
   edge_delay : Graph.edge -> int;
+  faults : Fault.runtime option;
+      (* None when no plan was armed: the zero-cost path *)
   mutable queue : event Event_queue.t;
   mutable seq : int;
   mutable clock : int;
   mutable activations : int;
   mutable packets : int;
+  mutable last_active : Node_id.t option;
   mutable output_trace : (int * Node_id.t * value) list;  (* newest first *)
 }
+
+exception
+  Event_limit_exceeded of {
+    clock : int;
+    queue_depth : int;
+    last_node : Node_id.t option;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Event_limit_exceeded { clock; queue_depth; last_node } ->
+      Some
+        (Printf.sprintf
+           "Engine.Event_limit_exceeded (clock %d, %d events pending, last \
+            active node %s): self-retriggering network?"
+           clock queue_depth
+           (match last_node with Some id -> string_of_int id | None -> "-"))
+    | _ -> None)
 
 let wire_delay = 1
 
@@ -110,7 +133,7 @@ let bump_gen rt timer =
   Hashtbl.replace rt.timer_gen timer gen;
   gen
 
-let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) g =
+let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults g =
   let order = Graph.topological_order g in
   let states =
     List.fold_left
@@ -128,11 +151,13 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) g =
     tie_order;
     tie_rng;
     edge_delay;
+    faults = Option.map Fault.start faults;
     queue = Event_queue.empty;
     seq = 0;
     clock = 0;
     activations = 0;
     packets = 0;
+    last_active = None;
     output_trace = [];
   }
   in
@@ -179,6 +204,15 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) g =
         outcome.Behavior.Eval.timers
   in
   List.iter init_node order;
+  (* Spurious resets are plan-scheduled events like any other; an empty
+     plan schedules none and the queue stays untouched. *)
+  Option.iter
+    (fun plan ->
+      List.iter
+        (fun (id, time) ->
+          if Graph.mem g id then schedule t ~time (Fault_reset id))
+        (Fault.resets plan))
+    faults;
   t
 
 
@@ -186,6 +220,13 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) g =
    every connection of that port. *)
 let present t ~time id port v =
   let rt = state t id in
+  (* A stuck-at output fault overrides the value before change
+     detection: downstream never sees anything else on that port. *)
+  let v =
+    match t.faults with
+    | None -> v
+    | Some frt -> Fault.stuck_value frt ~time id ~port v
+  in
   if not (Behavior.Ast.equal_value rt.output_latch.(port) v) then begin
     rt.output_latch.(port) <- v;
     List.iter
@@ -193,7 +234,17 @@ let present t ~time id port v =
         if e.Graph.src.Graph.port = port then begin
           t.packets <- t.packets + 1;
           Obs.Metrics.incr m_packets;
-          schedule t ~time:(time + max 1 (t.edge_delay e)) (Deliver (e, v))
+          let deliveries =
+            match t.faults with
+            | None -> [ (0, v) ]
+            | Some frt -> Fault.on_send frt ~time e v
+          in
+          List.iter
+            (fun (extra, v') ->
+              schedule t
+                ~time:(time + max 1 (t.edge_delay e) + extra)
+                (Deliver (e, v')))
+            deliveries
         end)
       (Graph.fanout t.graph id)
   end
@@ -228,8 +279,13 @@ let activate t ~time id ~fired =
 let record_output_change t ~time id v =
   t.output_trace <- (time, id, v) :: t.output_trace
 
+let event_node = function
+  | Deliver (e, _) -> e.Graph.dst.Graph.node
+  | Timer_expiry (id, _, _) | Sensor_change (id, _) | Fault_reset id -> id
+
 let process t ~time event =
   t.clock <- max t.clock time;
+  t.last_active <- Some (event_node event);
   Obs.Metrics.incr m_events;
   match event with
   | Deliver (e, v) ->
@@ -247,6 +303,21 @@ let process t ~time event =
     let rt = state t id in
     if current_gen rt timer = gen then activate t ~time id ~fired:(Some timer)
   | Sensor_change (id, b) -> present t ~time id 0 (Behavior.Ast.Bool b)
+  | Fault_reset id ->
+    (* Brownout: the block loses its volatile state — variable store and
+       pending timers — and its outputs snap back to power-on values,
+       announced downstream like a power-on.  Latched inputs survive (the
+       input registers hold), so the block recomputes on its next
+       activation; until then its outputs may disagree with its inputs,
+       which is exactly the degradation {!Degrade} classifies. *)
+    Option.iter Fault.note_reset t.faults;
+    let d = Graph.descriptor t.graph id in
+    let rt = state t id in
+    rt.env <- Behavior.Eval.init d.Eblock.Descriptor.behavior;
+    let armed = Hashtbl.fold (fun timer _ acc -> timer :: acc) rt.timer_gen [] in
+    List.iter (fun timer -> ignore (bump_gen rt timer)) armed;
+    Array.iteri (fun port v -> present t ~time id port v)
+      d.Eblock.Descriptor.output_init
 
 let step t =
   match Event_queue.min_binding_opt t.queue with
@@ -271,7 +342,13 @@ let settle ?(limit = 100_000) t =
   Obs.Trace.with_span "sim.settle" @@ fun () ->
   let rec loop remaining =
     if remaining = 0 then
-      failwith "Engine.settle: event limit exceeded (self-retriggering network?)"
+      raise
+        (Event_limit_exceeded
+           {
+             clock = t.clock;
+             queue_depth = Event_queue.cardinal t.queue;
+             last_node = t.last_active;
+           })
     else if step t then loop (remaining - 1)
     else begin
       Obs.Metrics.incr m_settles;
@@ -316,3 +393,5 @@ let trace t = List.rev t.output_trace
 let activation_count t = t.activations
 
 let packet_count t = t.packets
+
+let fault_stats t = Option.map Fault.stats t.faults

@@ -21,11 +21,23 @@ type tie_order =
   | Lifo  (** same-time events run in reverse scheduling order *)
   | Shuffled of int  (** same-time events run in seeded-random order *)
 
+exception
+  Event_limit_exceeded of {
+    clock : int;  (** simulated time when the limit was hit *)
+    queue_depth : int;  (** events still pending *)
+    last_node : Node_id.t option;  (** node the last event targeted *)
+  }
+(** Raised by {!settle} when the event limit is exhausted — almost always
+    a self-retriggering network (an oscillator, or a fault plan that
+    keeps the network live).  Carries enough context to classify the
+    livelock instead of dying: see {!Degrade}. *)
+
 val wire_delay : int
 (** Ticks a packet needs to traverse one connection (1). *)
 
 val create :
-  ?tie_order:tie_order -> ?edge_delay:(Graph.edge -> int) -> Graph.t -> t
+  ?tie_order:tie_order -> ?edge_delay:(Graph.edge -> int) ->
+  ?faults:Fault.plan -> Graph.t -> t
 (** Initialise a simulation.  Latches start from the descriptors' power-on
     values, then every block evaluates once in topological order (the
     power-on sweep: physical blocks announce their state at power-on), so
@@ -40,7 +52,15 @@ val create :
     {e path-length hazard} (e.g. a latch whose trigger outruns its reset);
     physical eBlocks resolve those nondeterministically, so such
     sensitivity is a property of the design, not of synthesis — see
-    {!Equiv.timing_sensitive}. *)
+    {!Equiv.timing_sensitive}.
+
+    [faults] arms a {!Fault.plan}: packets may then be dropped,
+    duplicated, corrupted, jittered, or lost to dead links, and blocks
+    may spuriously reset or have outputs stuck, all driven by the plan's
+    own seeded PRNG so a run replays exactly.  Without [faults] (or with
+    a plan that is {!Fault.is_trivial}) the engine behaves — traces,
+    packet counts, event order — exactly as if the fault layer did not
+    exist. *)
 
 val now : t -> int
 
@@ -59,8 +79,9 @@ val run_until : t -> int -> unit
     to it. *)
 
 val settle : ?limit:int -> t -> unit
-(** Run until no events remain ([limit], default 100_000, guards against a
-    runaway self-retriggering network; raises [Failure] when hit). *)
+(** Run until no events remain ([limit], default 100_000, guards against
+    a runaway self-retriggering network; raises {!Event_limit_exceeded}
+    when hit). *)
 
 val output_value : t -> Node_id.t -> Behavior.Ast.value
 (** Value currently presented to a primary-output block (its input
@@ -85,4 +106,8 @@ val packet_count : t -> int
     transmission on a physical wire or radio, so this is the network's
     communication-energy proxy — the quantity the paper's synthesis
     reduces alongside block count ("reducing network size and hence
-    network cost and power"). *)
+    network cost and power").  Counts send attempts: a packet the fault
+    layer drops was still transmitted by its sender. *)
+
+val fault_stats : t -> Fault.stats option
+(** Injection counts so far; [None] when no fault plan was armed. *)

@@ -1,0 +1,129 @@
+(** Seeded fault injection for the packet network.
+
+    The eBlock platform is "packet-based, globally asynchronous" hardware
+    deployed in the physical world: links drop and corrupt packets, and
+    blocks brown out.  A {!plan} describes which faults may strike which
+    connections and blocks; {!Engine.create}[ ?faults] arms it.  Every
+    random decision is drawn from one {!Prng} stream seeded by the plan,
+    so a run replays exactly given the same network, stimulus, and plan —
+    and an all-zero plan injects nothing and draws nothing, leaving the
+    engine's behaviour bit-identical to an uninstrumented run.
+
+    See [doc/fault-injection.md] for the fault model and the
+    graceful-degradation taxonomy built on top ({!Degrade}). *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+(** {1 Fault models} *)
+
+type edge_fault = {
+  drop : float;  (** probability a packet on the edge is silently lost *)
+  duplicate : float;  (** probability a packet is delivered twice *)
+  corrupt : float;
+      (** probability the carried value is corrupted in flight: booleans
+          flip, integers get one low bit flipped *)
+  jitter : int;
+      (** each delivery is delayed by a uniform extra [0..jitter] ticks *)
+  dies_at : int option;
+      (** permanent link death: packets sent at or after this tick
+          vanish *)
+}
+
+val no_edge_fault : edge_fault
+(** All probabilities zero, no jitter, never dies. *)
+
+type stuck = {
+  port : int;
+  value : Behavior.Ast.value;
+  from : int;  (** tick from which the output port is stuck *)
+}
+
+type node_fault = {
+  reset_at : int list;
+      (** spurious resets (brownouts): at each tick the block loses its
+          variable store and pending timers and its outputs snap back to
+          the descriptor's [output_init], announcing the change
+          downstream like a power-on *)
+  stuck : stuck list;
+      (** stuck-at output ports: from [from] on, every value the block
+          presents on [port] is overridden with [value] *)
+}
+
+val no_node_fault : node_fault
+
+(** {1 Plans} *)
+
+type plan = {
+  seed : int;  (** seeds the injection PRNG; equal plans replay exactly *)
+  default_edge : edge_fault;  (** applied to every connection *)
+  edge_overrides : (Graph.edge * edge_fault) list;
+      (** per-connection overrides, replacing [default_edge] entirely *)
+  node_faults : (Node_id.t * node_fault) list;
+}
+
+val none : plan
+(** The empty plan: nothing is ever injected. *)
+
+val is_trivial : plan -> bool
+(** True when the plan can never inject a fault; the engine treats such a
+    plan exactly like [?faults:None]. *)
+
+val drop_all : ?seed:int -> float -> plan
+(** [drop_all p]: every connection drops each packet with probability
+    [p]; no other fault class.  Default [seed] 1. *)
+
+val degrade_all :
+  ?seed:int -> ?drop:float -> ?duplicate:float -> ?corrupt:float ->
+  ?jitter:int -> unit -> plan
+(** A plan applying the given models uniformly to every connection
+    (each defaults to off). *)
+
+(** {1 Runtime}
+
+    Used by {!Engine}; a runtime holds the injection PRNG and the
+    injection counters for one simulation. *)
+
+type runtime
+
+val start : plan -> runtime
+
+val resets : plan -> (Node_id.t * int) list
+(** All (node, tick) spurious resets the engine must schedule, in plan
+    order. *)
+
+val on_send : runtime -> time:int -> Graph.edge -> Behavior.Ast.value ->
+  (int * Behavior.Ast.value) list
+(** The deliveries a single packet send becomes under the plan: each
+    element is (extra delay, possibly corrupted value).  [[]] means the
+    packet was dropped (or the link is dead); two elements mean
+    duplication.  A faultless edge returns [[ (0, v) ]] without touching
+    the PRNG. *)
+
+val stuck_value : runtime -> time:int -> Node_id.t -> port:int ->
+  Behavior.Ast.value -> Behavior.Ast.value
+(** The value actually presented on an output port, after any stuck-at
+    override active at [time]. *)
+
+val note_reset : runtime -> unit
+(** Counts a spurious reset the engine is about to perform. *)
+
+(** {1 Injection accounting} *)
+
+type stats = {
+  drops : int;
+  duplicates : int;
+  corruptions : int;
+  jittered : int;  (** deliveries delayed by a nonzero jitter draw *)
+  dead_link_losses : int;
+  resets : int;
+  stuck_overrides : int;
+      (** presentations whose value a stuck-at fault changed *)
+}
+
+val stats : runtime -> stats
+
+val total : stats -> int
+(** Sum over every fault class — "how many faults actually struck". *)
+
+val pp_stats : Format.formatter -> stats -> unit

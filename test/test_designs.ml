@@ -108,6 +108,51 @@ let test_two_button_light_blocked () =
         (Core.Partition.is_valid g p))
     subsets
 
+let expect_failure what contains_all f =
+  match f () with
+  | exception Failure msg ->
+    List.iter
+      (fun needle ->
+        check Alcotest.bool
+          (Printf.sprintf "%s message mentions %S" what needle)
+          true (Testlib.contains msg needle))
+      contains_all
+  | _ -> Alcotest.failf "%s did not raise Failure" what
+
+let test_make_malformed_names_design_and_block () =
+  (* and2's second input is left undriven: the message must name the
+     design, the undriven port, and resolve the node id to its block *)
+  expect_failure "malformed design"
+    [ "Broken Widget"; "input port 2.1 is not driven"; "2=and2" ]
+    (fun () ->
+      Designs.Design.make ~name:"Broken Widget"
+        ~description:"negative fixture"
+        ~nodes:
+          [ (1, Eblock.Catalog.button); (2, Eblock.Catalog.and2);
+            (3, Eblock.Catalog.led) ]
+        ~edges:[ ((1, 0), (2, 0)); ((2, 0), (3, 0)) ]
+        ())
+
+let test_make_table1_mismatch_names_design () =
+  expect_failure "Table 1 mismatch"
+    [ "Miscounted Widget"; "has 1 inner blocks"; "says 5"; "2=" ]
+    (fun () ->
+      Designs.Design.make ~name:"Miscounted Widget"
+        ~description:"negative fixture"
+        ~paper:
+          {
+            Designs.Design.inner_original = 5;
+            exhaustive_total = None;
+            exhaustive_prog = None;
+            paredown_total = 1;
+            paredown_prog = 1;
+          }
+        ~nodes:
+          [ (1, Eblock.Catalog.button); (2, Eblock.Catalog.not_gate);
+            (3, Eblock.Catalog.led) ]
+        ~edges:[ ((1, 0), (2, 0)); ((2, 0), (3, 0)) ]
+        ())
+
 let test_designs_simulate () =
   (* every design runs under random stimuli without structural failures *)
   List.iter
@@ -160,6 +205,13 @@ let () =
           Alcotest.test_case "comm barriers" `Quick test_comm_barrier_designs;
           Alcotest.test_case "two-button light blocked" `Quick
             test_two_button_light_blocked;
+        ] );
+      ( "construction errors",
+        [
+          Alcotest.test_case "malformed names design and block" `Quick
+            test_make_malformed_names_design_and_block;
+          Alcotest.test_case "table1 mismatch names design" `Quick
+            test_make_table1_mismatch_names_design;
         ] );
       ( "behaviour",
         [

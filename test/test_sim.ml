@@ -183,8 +183,60 @@ let test_settle_limit () =
   let engine = Sim.Engine.create g in
   Sim.Engine.set_sensor engine sensor true;
   match Sim.Engine.settle ~limit:50 engine with
-  | exception Failure _ -> ()
+  | exception Sim.Engine.Event_limit_exceeded { clock; queue_depth; last_node }
+    ->
+    (* the exception carries enough context to classify the livelock *)
+    check Alcotest.bool "clock advanced" true (clock > 0);
+    check Alcotest.bool "events still pending" true (queue_depth > 0);
+    (match last_node with
+     | Some id -> check Alcotest.bool "last node in graph" true (Graph.mem g id)
+     | None -> Alcotest.fail "last active node not recorded")
   | () -> Alcotest.fail "settle terminated on an oscillator"
+
+(* --- Tie-order determinism ---------------------------------------------- *)
+
+let shuffled_observation g seed script =
+  let engine = Sim.Engine.create ~tie_order:(Sim.Engine.Shuffled seed) g in
+  let obs = Sim.Stimulus.settled_outputs engine script in
+  (obs, Sim.Engine.trace engine, Sim.Engine.packet_count engine)
+
+let test_shuffled_same_seed_deterministic () =
+  List.iter
+    (fun g ->
+      let script =
+        Sim.Stimulus.random ~rng:(Prng.create 17)
+          ~sensors:(Graph.sensors g) ~steps:25 ~spacing:10
+      in
+      List.iter
+        (fun seed ->
+          check Alcotest.bool
+            (Printf.sprintf "seed %d replays identically" seed)
+            true
+            (shuffled_observation g seed script
+             = shuffled_observation g seed script))
+        [ 1; 2; 42 ])
+    [
+      Testlib.podium;
+      Designs.Library.two_zone_security.Designs.Design.network;
+      Randgen.Generator.generate ~rng:(Prng.create 879411) ~inner:5 ();
+    ]
+
+let test_shuffled_different_seeds_may_differ () =
+  (* on a race-free design every tie order agrees; on a racy one the
+     shuffled orders genuinely resolve races differently, so some pair of
+     seeds must disagree *)
+  let racy =
+    Randgen.Generator.generate ~rng:(Prng.create 879411) ~inner:5 ()
+  in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create 879411)
+      ~sensors:(Graph.sensors racy) ~steps:25 ~spacing:10
+  in
+  let reference = shuffled_observation racy 1 script in
+  check Alcotest.bool "some seed resolves the races differently" true
+    (List.exists
+       (fun seed -> shuffled_observation racy seed script <> reference)
+       [ 2; 3; 4; 5; 6; 7; 8 ])
 
 let test_cyclic_rejected () =
   let g, s = Graph.add Graph.empty C.button in
@@ -430,6 +482,13 @@ let () =
           Alcotest.test_case "argument validation" `Quick test_engine_guards;
           Alcotest.test_case "settle limit" `Quick test_settle_limit;
           Alcotest.test_case "cyclic rejected" `Quick test_cyclic_rejected;
+        ] );
+      ( "tie order",
+        [
+          Alcotest.test_case "same seed deterministic" `Quick
+            test_shuffled_same_seed_deterministic;
+          Alcotest.test_case "different seeds may differ" `Quick
+            test_shuffled_different_seeds_may_differ;
         ] );
       ( "stimulus",
         [
