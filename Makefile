@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml for
 # environments without Actions.
 
-.PHONY: all build test check bench tables faults clean
+.PHONY: all build test check bench tables faults perf-baseline perf-smoke clean
 
 all: build
 
@@ -26,6 +26,22 @@ faults:
 
 bench:
 	dune exec bench/main.exe
+
+# Re-record the committed perf baseline (bench/baseline.json).  Run on
+# a quiet machine after any deliberate perf-relevant change and commit
+# the result.
+perf-baseline:
+	dune exec bin/paredown.exe -- perf record -o bench/baseline.json --repeats 3
+
+# The perf regression gate: record a fresh snapshot and compare it to
+# the committed baseline.  Work counters (fit checks, packets, bytes)
+# are deterministic and gate at a tight ratio; wall times only gate on
+# an order-of-magnitude blowup (--max-ratio 20) because the baseline
+# was recorded on different hardware.
+perf-smoke:
+	dune exec bin/paredown.exe -- perf record -o perf-snapshot.json --repeats 3
+	dune exec bin/paredown.exe -- perf compare bench/baseline.json perf-snapshot.json \
+	  --max-ratio 20 --min-ms 5
 
 clean:
 	dune clean

@@ -14,7 +14,10 @@
      frontend/*  — behaviour-language parsing
 
    Run with: dune exec bench/main.exe
-   (set BENCH_TABLES_ONLY=1 to print the tables and skip the timings) *)
+   (set BENCH_TABLES_ONLY=1 to print the tables and skip the Bechamel
+   timings; either way a machine-readable perf snapshot is written to
+   BENCH_paredown.json — override the path with BENCH_JSON, or set
+   BENCH_JSON= to skip it) *)
 
 open Bechamel
 open Toolkit
@@ -302,8 +305,25 @@ let run_benchmarks () =
   in
   Notty_unix.eol img |> Notty_unix.output_image
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: the machine-readable perf snapshot (Experiments.Perf): one
+   min-of-k wall time per bench group plus the full metrics registry,
+   in the schema `paredown perf compare` gates against. *)
+
+let write_perf_snapshot () =
+  match Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH_paredown.json" with
+  | "" -> ()
+  | path ->
+    let snapshot = Experiments.Perf.record () in
+    Obs.Snapshot.write_file snapshot path;
+    Printf.printf "\nperf snapshot: %d groups, %d metrics -> %s\n"
+      (List.length snapshot.Obs.Snapshot.times_ns)
+      (List.length snapshot.Obs.Snapshot.metrics)
+      path
+
 let () =
   print_tables ();
+  write_perf_snapshot ();
   if Sys.getenv_opt "BENCH_TABLES_ONLY" = None then begin
     print_endline "\n== Bechamel micro-benchmarks ==\n";
     run_benchmarks ()

@@ -419,6 +419,173 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc:"Generate a random eBlock design.")
     Term.(const run $ obs_term $ inner_arg $ seed_arg $ save_arg)
 
+(* perf: record / compare / profile (see doc/observability.md) *)
+
+let perf_record_cmd =
+  let out_arg =
+    Arg.(value & opt string "perf-snapshot.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the snapshot JSON.")
+  in
+  let repeats_arg =
+    Arg.(value & opt int 3
+         & info [ "repeats" ]
+             ~doc:"Timed passes per group; the minimum wall time is kept \
+                   (scheduler-noise floor).  Counters come from a single \
+                   warmup pass and do not depend on this.")
+  in
+  let run out repeats =
+    let snapshot = Experiments.Perf.record ~repeats () in
+    Obs.Snapshot.write_file snapshot out;
+    Printf.printf "recorded %d groups, %d metrics (git %s) -> %s\n"
+      (List.length snapshot.Obs.Snapshot.times_ns)
+      (List.length snapshot.Obs.Snapshot.metrics)
+      (match snapshot.Obs.Snapshot.git_rev with
+       | Some r -> String.sub r 0 (min 12 (String.length r))
+       | None -> "unknown")
+      out
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run the perf suite (one workload per bench group) and write \
+             a snapshot JSON: min-of-k wall times plus the full metrics \
+             registry.")
+    Term.(const run $ out_arg $ repeats_arg)
+
+let perf_compare_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"Baseline snapshot JSON.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"Candidate snapshot JSON.")
+  in
+  let max_ratio_arg =
+    Arg.(value & opt float 1.5
+         & info [ "max-ratio" ]
+             ~doc:"A wall time regresses when it exceeds baseline times \
+                   this ratio (and the absolute floor).")
+  in
+  let min_ms_arg =
+    Arg.(value & opt float 1.0
+         & info [ "min-ms" ]
+             ~doc:"Absolute floor: wall-time growth below this many \
+                   milliseconds never gates (jitter suppression).")
+  in
+  let counter_ratio_arg =
+    Arg.(value & opt float 1.1
+         & info [ "counter-ratio" ]
+             ~doc:"Work counters are deterministic, so they gate at this \
+                   tighter ratio.")
+  in
+  let min_count_arg =
+    Arg.(value & opt float 1000.
+         & info [ "min-count" ]
+             ~doc:"Absolute floor on counter growth before it gates.")
+  in
+  let load path =
+    match Obs.Snapshot.read_file path with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "paredown perf compare: %s: %s\n" path msg;
+      exit 2
+  in
+  let run old_path new_path max_ratio min_ms counter_ratio min_count =
+    let base = load old_path and cur = load new_path in
+    if base.Obs.Snapshot.config <> cur.Obs.Snapshot.config then
+      Printf.eprintf
+        "warning: snapshot configs differ (%s vs %s) — counter \
+         comparisons may be spurious\n"
+        (String.concat ","
+           (List.map (fun (k, v) -> k ^ "=" ^ v) base.Obs.Snapshot.config))
+        (String.concat ","
+           (List.map (fun (k, v) -> k ^ "=" ^ v) cur.Obs.Snapshot.config));
+    print_string (Obs.Snapshot.render_diff ~base cur);
+    let regressions =
+      Obs.Snapshot.gate ~max_ratio ~min_abs_ns:(min_ms *. 1e6)
+        ~counter_max_ratio:counter_ratio ~min_abs_count:min_count ~base cur
+    in
+    print_newline ();
+    match regressions with
+    | [] -> print_endline "gate: ok (no regressions)"
+    | rs ->
+      List.iter
+        (fun r ->
+          Printf.printf "REGRESSION %s: %s -> %s (x%.2f)\n"
+            r.Obs.Snapshot.r_metric
+            (Obs.Metrics.pp_quantity
+               ~time:(Obs.Metrics.is_time_name r.Obs.Snapshot.r_metric)
+               r.Obs.Snapshot.r_base)
+            (Obs.Metrics.pp_quantity
+               ~time:(Obs.Metrics.is_time_name r.Obs.Snapshot.r_metric)
+               r.Obs.Snapshot.r_cur)
+            r.Obs.Snapshot.r_ratio)
+        rs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two perf snapshots and gate: exit nonzero when a wall \
+             time or work counter regresses past the thresholds.")
+    Term.(
+      const run $ old_arg $ new_arg $ max_ratio_arg $ min_ms_arg
+      $ counter_ratio_arg $ min_count_arg)
+
+let perf_profile_cmd =
+  let steps_arg =
+    Arg.(value & opt int 30
+         & info [ "steps" ] ~doc:"Random sensor flips to simulate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Stimulus seed.")
+  in
+  let top_arg =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~doc:"Rows in the self-time table.")
+  in
+  let run design steps seed top =
+    let name, g = load_network design in
+    let profile = Obs.Profile.create () in
+    Obs.Trace.set_sink (Obs.Profile.sink profile);
+    Fun.protect ~finally:Obs.Trace.reset (fun () ->
+        (* The full pipeline, once: partition, rewrite, emit C for every
+           programmable block, then simulate the synthesised network. *)
+        let sol = (Core.Paredown.run g).Core.Paredown.solution in
+        let result = Codegen.Replace.apply g sol in
+        let g' = result.Codegen.Replace.network in
+        List.iter
+          (fun prog_id ->
+            let d = Graph.descriptor g' prog_id in
+            ignore
+              (Codegen.C_emit.program
+                 ~n_inputs:d.Eblock.Descriptor.n_inputs
+                 ~n_outputs:d.Eblock.Descriptor.n_outputs
+                 d.Eblock.Descriptor.behavior))
+          result.Codegen.Replace.programmable_ids;
+        let engine = Sim.Engine.create g' in
+        let script =
+          Sim.Stimulus.random ~rng:(Prng.create seed)
+            ~sensors:(Graph.sensors g') ~steps ~spacing:20
+        in
+        ignore (Sim.Stimulus.settled_outputs engine script));
+    Printf.printf "%s: one synth+simulate run, by span self time\n\n" name;
+    print_string (Obs.Profile.to_table ~top profile)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run partition -> rewrite -> C emission -> simulation once \
+             under the aggregating profiler sink and print the per-phase \
+             self-time breakdown.")
+    Term.(const run $ design_arg $ steps_arg $ seed_arg $ top_arg)
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:"Perf snapshots and the regression gate: record a snapshot, \
+             compare two, or profile one run per phase.")
+    [ perf_record_cmd; perf_compare_cmd; perf_profile_cmd ]
+
 let () =
   let info =
     Cmd.info "paredown"
@@ -429,4 +596,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
-            faults_cmd; generate_cmd ]))
+            faults_cmd; generate_cmd; perf_cmd ]))

@@ -16,15 +16,20 @@ let write_csv path csv =
 let print_header title =
   Printf.printf "\n== %s ==\n\n" title
 
-(* Each table resets the metrics registry first and prints a summary of
-   the work counters afterwards, so the numbers are per-table. *)
-let print_metrics_summary () =
+(* Each table runs inside Obs.Metrics.with_scope and prints the scope's
+   own readings afterwards (counter deltas, histogram diffs), so the
+   numbers are per-table without ever zeroing the cumulative registry —
+   the reset-based version made `all` runs order-sensitive and lost the
+   process totals. *)
+let in_metrics_scope f =
+  let result, entries = Obs.Metrics.with_scope f in
   Printf.printf "\n-- metrics --\n%s"
-    (Obs.Metrics.to_table ~omit_zero:true ())
+    (Obs.Metrics.render_entries ~omit_zero:true entries);
+  result
 
 let run_table1 cutoff csv_out () =
-  Obs.Metrics.reset ();
   print_header "Table 1: 15 library designs (exhaustive vs PareDown)";
+  in_metrics_scope @@ fun () ->
   let config =
     { Experiments.Table1.default_config with exhaustive_cutoff = cutoff }
   in
@@ -32,12 +37,11 @@ let run_table1 cutoff csv_out () =
   print_string (Experiments.Table1.to_table rows);
   Option.iter
     (fun path -> write_csv path (Experiments.Table1.to_csv rows))
-    csv_out;
-  print_metrics_summary ()
+    csv_out
 
 let run_table2 seed scale_counts cutoff csv_out () =
-  Obs.Metrics.reset ();
   print_header "Table 2: randomly generated designs";
+  in_metrics_scope @@ fun () ->
   let base = Experiments.Table2.default_config in
   let sizes =
     List.map
@@ -52,63 +56,65 @@ let run_table2 seed scale_counts cutoff csv_out () =
   print_string (Experiments.Table2.to_table buckets);
   Option.iter
     (fun path -> write_csv path (Experiments.Table2.to_csv buckets))
-    csv_out;
-  print_metrics_summary ()
+    csv_out
 
 let run_scale () =
-  Obs.Metrics.reset ();
   print_header "Scalability (§5.2): PareDown on large random designs";
-  print_string (Experiments.Scale.to_table (Experiments.Scale.run_random ()));
-  print_header "Worst-case family (§4.2): fit checks = n(n+1)/2";
-  let worst = Experiments.Scale.run_worst_case () in
-  print_string (Experiments.Scale.to_table worst);
-  (* The §4.2 claim, asserted rather than eyeballed: the per-run fit
-     checks and the global counter must both equal the closed form. *)
-  let measured_total =
-    List.fold_left (fun acc p -> acc + p.Experiments.Scale.fit_checks) 0 worst
+  let (per_run_exact, measured_total), entries =
+    Obs.Metrics.with_scope (fun () ->
+        print_string
+          (Experiments.Scale.to_table (Experiments.Scale.run_random ()));
+        print_header "Worst-case family (§4.2): fit checks = n(n+1)/2";
+        let worst = Experiments.Scale.run_worst_case () in
+        print_string (Experiments.Scale.to_table worst);
+        ( List.for_all
+            (fun p ->
+              p.Experiments.Scale.expected_fit_checks
+              = Some p.Experiments.Scale.fit_checks)
+            worst,
+          List.fold_left
+            (fun acc p -> acc + p.Experiments.Scale.fit_checks)
+            0 worst ))
   in
+  (* The §4.2 claim, asserted rather than eyeballed: the per-run fit
+     checks and the scope's counter delta must both reach the closed
+     form (the scope also covers the random sweep, so >=). *)
   let counted =
-    match Obs.Metrics.find "core.paredown.fit_checks" with
+    match
+      List.find_opt
+        (fun e -> e.Obs.Metrics.name = "core.paredown.fit_checks")
+        entries
+    with
     | Some { Obs.Metrics.value = Obs.Metrics.Count n; _ } -> n
     | Some _ | None -> -1
   in
-  let exact =
-    List.for_all
-      (fun p ->
-        p.Experiments.Scale.expected_fit_checks
-        = Some p.Experiments.Scale.fit_checks)
-      worst
-    (* run_scale resets the registry and runs the random sweep first,
-       so the counter holds random + worst-case checks *)
-    && counted >= measured_total
-  in
+  let exact = per_run_exact && counted >= measured_total in
   Printf.printf "worst-case closed form: %s\n"
     (if exact then "ok (fit checks = n(n+1)/2 on every size)"
      else "MISMATCH (see table above)");
-  print_metrics_summary ();
+  Printf.printf "\n-- metrics --\n%s"
+    (Obs.Metrics.render_entries ~omit_zero:true entries);
   if not exact then exit 1
 
 let run_ablation seed count inner () =
-  Obs.Metrics.reset ();
   print_header "Ablations: PareDown ingredients and baselines";
+  in_metrics_scope @@ fun () ->
   print_string
     (Experiments.Ablation.to_table
-       (Experiments.Ablation.run ~seed ~count ~inner ()));
-  print_metrics_summary ()
+       (Experiments.Ablation.run ~seed ~count ~inner ()))
 
 let run_power seed steps () =
-  Obs.Metrics.reset ();
   print_header
     "Power proxy (§1): packets transmitted before/after synthesis";
+  in_metrics_scope @@ fun () ->
   print_string
-    (Experiments.Power.to_table (Experiments.Power.run ~seed ~steps ()));
-  print_metrics_summary ()
+    (Experiments.Power.to_table (Experiments.Power.run ~seed ~steps ()))
 
 let run_faults seed trials csv_out () =
-  Obs.Metrics.reset ();
   print_header
     "Fault tolerance: degradation of flat vs partitioned networks under \
      packet drops";
+  in_metrics_scope @@ fun () ->
   let config =
     { Experiments.Faults.default_config with seed; trials }
   in
@@ -117,8 +123,7 @@ let run_faults seed trials csv_out () =
   print_endline (Experiments.Faults.summary rows);
   Option.iter
     (fun path -> write_csv path (Experiments.Faults.to_csv rows))
-    csv_out;
-  print_metrics_summary ()
+    csv_out
 
 let cutoff_arg default =
   let doc = "Largest inner-block count attempted exhaustively." in

@@ -10,6 +10,11 @@ let m_fit_checks =
     ~doc:"fits-in-a-programmable-block tests (§4.2: at most n(n+1)/2)"
 let m_removals =
   Obs.Metrics.counter "core.paredown.removals" ~doc:"border blocks evicted"
+let h_run_ns =
+  Obs.Metrics.histogram "core.paredown.run_ns" ~doc:"PareDown wall time per run"
+let h_fit_checks =
+  Obs.Metrics.histogram "core.paredown.fit_checks_per_run"
+    ~doc:"fit-check batch size per run (the §4.2 quantity)"
 
 type tie_break =
   | Greatest_indegree
@@ -239,6 +244,7 @@ let run ?(config = default_config) ?(record_trace = false) g =
   Obs.Trace.with_span "paredown.run"
     ~args:[ ("inner", string_of_int (Graph.inner_count g)) ]
   @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
   let levels = Graph.levels g in
   let trace = ref [] in
   (* Trace payloads (border ranks in particular) are costly to build, so
@@ -311,6 +317,9 @@ let run ?(config = default_config) ?(record_trace = false) g =
   Obs.Metrics.add m_candidates !outer;
   Obs.Metrics.add m_fit_checks !fit_checks;
   Obs.Metrics.add m_removals !removals;
+  Obs.Histogram.observe h_run_ns
+    (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
+  Obs.Histogram.observe_int h_fit_checks !fit_checks;
   {
     solution = { Solution.partitions };
     stats =

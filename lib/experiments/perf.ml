@@ -1,0 +1,178 @@
+(* The perf suite: one small, deterministic workload per bench group,
+   shared by bench/main.ml (BENCH_paredown.json) and the `paredown
+   perf` CLI.  Each group exercises the same code path as the
+   corresponding Bechamel group, sized so a full record stays in the
+   seconds. *)
+
+module Graph = Netlist.Graph
+
+type group = {
+  name : string;
+  doc : string;
+  run : unit -> unit;
+}
+
+let keep : 'a -> unit = ignore
+
+let paredown_solution g = (Core.Paredown.run g).Core.Paredown.solution
+
+let random_design ~seed ~inner =
+  Randgen.Generator.generate ~rng:(Prng.create seed) ~inner ()
+
+(* Shared inputs, built outside the timed region (see [record]'s warmup
+   pass, which forces every lazy before the clocks start). *)
+let library_networks =
+  lazy (List.map (fun d -> d.Designs.Design.network) Designs.Library.table1)
+
+let g10 = lazy (random_design ~seed:2 ~inner:10)
+let g20 = lazy (random_design ~seed:3 ~inner:20)
+let g45 = lazy (random_design ~seed:4 ~inner:45)
+let g100 = lazy (random_design ~seed:100 ~inner:100)
+let w40 = lazy (Randgen.Generator.worst_case ~inner:40)
+
+let podium = lazy Designs.Library.podium_timer_3.Designs.Design.network
+
+let podium_members = Netlist.Node_id.set_of_list [ 2; 3; 4; 5 ]
+
+let podium_plan =
+  lazy (Codegen.Plan.build (Lazy.force podium) podium_members)
+
+let podium_solution = lazy (paredown_solution (Lazy.force podium))
+
+let two_zone = lazy Designs.Library.two_zone_security.Designs.Design.network
+
+let two_zone_script =
+  lazy
+    (let g = Lazy.force two_zone in
+     Sim.Stimulus.random ~rng:(Prng.create 21) ~sensors:(Graph.sensors g)
+       ~steps:30 ~spacing:15)
+
+let merged_source =
+  lazy
+    (Behavior.Ast.program_to_string
+       (Lazy.force podium_plan).Codegen.Plan.program)
+
+let groups =
+  [
+    { name = "table1"; doc = "PareDown over the 15 library designs";
+      run =
+        (fun () ->
+          List.iter
+            (fun g -> keep (paredown_solution g))
+            (Lazy.force library_networks)) };
+    { name = "table2"; doc = "PareDown on random designs (10/20/45 inner)";
+      run =
+        (fun () ->
+          keep (paredown_solution (Lazy.force g10));
+          keep (paredown_solution (Lazy.force g20));
+          keep (paredown_solution (Lazy.force g45))) };
+    { name = "scale"; doc = "PareDown on a 100-inner random design";
+      run = (fun () -> keep (paredown_solution (Lazy.force g100))) };
+    { name = "worstcase"; doc = "PareDown on the 40-inner §4.2 family";
+      run = (fun () -> keep (paredown_solution (Lazy.force w40))) };
+    { name = "ablation";
+      doc = "PareDown without convexity + the aggregation baseline";
+      run =
+        (fun () ->
+          let g = Lazy.force g20 in
+          let config =
+            {
+              Core.Paredown.default_config with
+              partition_config =
+                { Core.Partition.default_config with require_convex = false };
+            }
+          in
+          keep (Core.Paredown.run ~config g).Core.Paredown.solution;
+          keep (Core.Aggregation.run g)) };
+    { name = "codegen"; doc = "plan build + C emission + network rewrite";
+      run =
+        (fun () ->
+          let g = Lazy.force podium in
+          let plan = Lazy.force podium_plan in
+          keep (Codegen.Plan.build g podium_members);
+          keep
+            (Codegen.C_emit.program ~n_inputs:1 ~n_outputs:2
+               plan.Codegen.Plan.program);
+          keep (Codegen.Replace.apply g (Lazy.force podium_solution))) };
+    { name = "sim"; doc = "settle + VCD on Two-Zone Security";
+      run =
+        (fun () ->
+          let g = Lazy.force two_zone in
+          let script = Lazy.force two_zone_script in
+          let engine = Sim.Engine.create g in
+          keep (Sim.Stimulus.settled_outputs engine script);
+          keep (Sim.Vcd.record g script)) };
+    { name = "faults"; doc = "settle under 5% drops + degradation grading";
+      run =
+        (fun () ->
+          let g = Lazy.force two_zone in
+          let script = Lazy.force two_zone_script in
+          let faults = Sim.Fault.drop_all ~seed:7 0.05 in
+          let engine = Sim.Engine.create ~faults g in
+          keep (Sim.Stimulus.settled_outputs engine script);
+          keep (Sim.Degrade.classify ~faults g script)) };
+    { name = "power"; doc = "packet-count power proxy on Podium Timer 3";
+      run =
+        (fun () ->
+          keep
+            (Power.run_design ~steps:50 Designs.Library.podium_timer_3)) };
+    { name = "frontend"; doc = "behaviour-language parse of a merged program";
+      run =
+        (fun () -> keep (Behavior.Parse.program (Lazy.force merged_source))) };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The injected-slowdown hook: PAREDOWN_PERF_SLEEP_GROUP names a group,
+   PAREDOWN_PERF_SLEEP_MS (default 100) how long to stall inside its
+   timed region.  A busy-wait on the monotonic clock, so no unix
+   dependency and no signal interaction; used by the regression-gate
+   tests and by `make perf-smoke` demos. *)
+
+let sleep_hook name =
+  match Sys.getenv_opt "PAREDOWN_PERF_SLEEP_GROUP" with
+  | Some g when g = name ->
+    let ms =
+      match
+        Option.bind (Sys.getenv_opt "PAREDOWN_PERF_SLEEP_MS")
+          float_of_string_opt
+      with
+      | Some ms -> ms
+      | None -> 100.
+    in
+    let t0 = Obs.Clock.now_ns () in
+    while Obs.Clock.elapsed_s t0 *. 1000. < ms do () done
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let time_key name = "perf." ^ name ^ "_ns"
+
+let record ?(repeats = 3) ?(config = []) () =
+  let repeats = max 1 repeats in
+  Obs.Metrics.reset ();
+  (* One untimed pass: forces the lazy inputs, warms allocator and
+     caches, and — because it is the only pass the registry snapshot
+     sees — makes every counter and histogram independent of [repeats],
+     so snapshots recorded with different repeat counts still compare
+     counter-for-counter. *)
+  List.iter (fun g -> g.run ()) groups;
+  let metrics = Obs.Metrics.snapshot () in
+  let times_ns =
+    List.map
+      (fun g ->
+        let best = ref infinity in
+        for _ = 1 to repeats do
+          let t0 = Obs.Clock.now_ns () in
+          sleep_hook g.name;
+          g.run ();
+          let dt =
+            Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0)
+          in
+          if dt < !best then best := dt
+        done;
+        (time_key g.name, !best))
+      groups
+  in
+  Obs.Snapshot.make
+    ~config:(("repeats", string_of_int repeats) :: ("suite", "perf") :: config)
+    ~times_ns ~metrics ()

@@ -1,0 +1,35 @@
+(** The perf-snapshot suite: one deterministic workload per bench
+    group, timed with min-of-k repeats and frozen into an
+    {!Obs.Snapshot.t}.
+
+    Shared by [bench/main.exe] (which writes [BENCH_paredown.json])
+    and the [paredown perf] CLI, so the recorded and the gated numbers
+    come from exactly the same code paths. *)
+
+type group = {
+  name : string;
+      (** bench group this mirrors: table1, table2, scale, worstcase,
+          ablation, codegen, sim, faults, power, frontend *)
+  doc : string;
+  run : unit -> unit;
+}
+
+val groups : group list
+
+val time_key : string -> string
+(** [time_key "table1"] = ["perf.table1_ns"] — the [times_ns] key a
+    group records under. *)
+
+val sleep_hook : string -> unit
+(** Busy-wait stall injected into the named group's timed region when
+    [PAREDOWN_PERF_SLEEP_GROUP] matches it ([PAREDOWN_PERF_SLEEP_MS]
+    milliseconds, default 100).  Exists so the regression gate can be
+    demonstrated — and tested — without editing code. *)
+
+val record : ?repeats:int -> ?config:(string * string) list -> unit -> Obs.Snapshot.t
+(** Run every group once untimed (warmup; the pass the counters and
+    histograms are captured from, so they are independent of
+    [repeats]), then [repeats] (default 3, min 1) timed passes per
+    group keeping the minimum wall time.  Resets the metrics registry
+    first.  [config] entries are recorded into the snapshot
+    fingerprint alongside ["repeats"]. *)

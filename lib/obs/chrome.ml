@@ -8,23 +8,12 @@ let create () = { buf = Buffer.create 4096; t0 = Clock.now_ns (); events = 0 }
 
 let event_count t = t.events
 
-(* JSON string escaping (RFC 8259): control characters, quote,
-   backslash. *)
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON string escaping, shared with the snapshot writer so the full
+   RFC 8259 set (every control character 0x00-0x1f, backslash, quote)
+   lives in exactly one place — see the property test in
+   test/test_obs.ml that round-trips arbitrary names through the
+   parser. *)
+let escape = Json.escape
 
 let add_args buf = function
   | [] -> ()

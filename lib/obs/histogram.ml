@@ -1,0 +1,159 @@
+(* Log-bucketed (HDR-style) histogram.  Values are nonnegative floats;
+   bucket [i >= 1] covers [2^((i-1)/sub), 2^(i/sub)) with [sub]
+   sub-buckets per octave, so the relative quantile error is bounded by
+   2^(1/sub) - 1 (~19% at sub = 4).  Bucket 0 collects values < 1,
+   which for nanosecond and byte quantities means "zero". *)
+
+let sub_buckets = 4
+
+(* 64 octaves cover every int64 nanosecond value. *)
+let n_buckets = 1 + (64 * sub_buckets)
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
+    buckets = Array.make n_buckets 0 }
+
+let clear t =
+  t.count <- 0;
+  t.sum <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  Array.fill t.buckets 0 n_buckets 0
+
+let copy t = { t with buckets = Array.copy t.buckets }
+
+let index v =
+  if v < 1. then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v *. float_of_int sub_buckets) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(* Geometric midpoint of a bucket: the canonical value reported for any
+   observation that landed in it. *)
+let representative i =
+  if i = 0 then 0.
+  else Float.exp2 ((float_of_int i -. 0.5) /. float_of_int sub_buckets)
+
+let observe t v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let i = index v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let observe_int t n = observe t (float_of_int n)
+
+let time t f =
+  let t0 = Clock.now_ns () in
+  let finish () =
+    observe t (Int64.to_float (Int64.sub (Clock.now_ns ()) t0))
+  in
+  match f () with
+  | result -> finish (); result
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    finish ();
+    Printexc.raise_with_backtrace e bt
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0. else t.min_v
+let max_value t = if t.count = 0 then 0. else t.max_v
+
+(* p in [0, 100].  Walk the buckets to the smallest representative
+   whose cumulative count reaches rank ceil(p/100 * count); clamp into
+   [min, max] so the tails are exact. *)
+let percentile t p =
+  if t.count = 0 then 0.
+  else if p <= 0. then t.min_v
+  else if p >= 100. then t.max_v
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec walk i acc =
+      if i >= n_buckets then t.max_v
+      else
+        let acc = acc + t.buckets.(i) in
+        if acc >= rank then representative i else walk (i + 1) acc
+    in
+    let v = walk 0 0 in
+    if v < t.min_v then t.min_v else if v > t.max_v then t.max_v else v
+  end
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_mean : float;
+  s_min : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_max : float;
+}
+
+let summary t =
+  {
+    s_count = t.count;
+    s_sum = t.sum;
+    s_mean = mean t;
+    s_min = min_value t;
+    s_p50 = percentile t 50.;
+    s_p90 = percentile t 90.;
+    s_p99 = percentile t 99.;
+    s_max = max_value t;
+  }
+
+let zero_summary = summary (create ())
+
+(* [diff ~before after]: the observations recorded in [after] but not
+   in the earlier copy [before].  Bucket counts and sums subtract
+   exactly; min/max are only known to bucket resolution unless [before]
+   was empty, in which case they are exact. *)
+let diff ~before after =
+  if before.count = 0 then copy after
+  else begin
+    let d = create () in
+    d.count <- after.count - before.count;
+    d.sum <- after.sum -. before.sum;
+    for i = 0 to n_buckets - 1 do
+      d.buckets.(i) <- after.buckets.(i) - before.buckets.(i)
+    done;
+    Array.iteri
+      (fun i n ->
+        if n > 0 then begin
+          let r = representative i in
+          if r < d.min_v then d.min_v <- r;
+          if r > d.max_v then d.max_v <- r
+        end)
+      d.buckets;
+    if d.count > 0 && d.min_v = infinity then begin
+      (* all diff buckets cancelled (can only happen on misuse) *)
+      d.min_v <- 0.;
+      d.max_v <- 0.
+    end;
+    d
+  end
+
+let merge a b =
+  let m = create () in
+  m.count <- a.count + b.count;
+  m.sum <- a.sum +. b.sum;
+  m.min_v <- Float.min a.min_v b.min_v;
+  m.max_v <- Float.max a.max_v b.max_v;
+  for i = 0 to n_buckets - 1 do
+    m.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+  done;
+  m

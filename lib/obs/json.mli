@@ -1,0 +1,36 @@
+(** A minimal JSON document model, printer, and parser (RFC 8259).
+
+    No JSON library is vendored in this tool chain, and the documents
+    it reads and writes — Chrome trace events, perf snapshots — are
+    small and regular, so this module keeps the dependency surface at
+    zero.  The parser accepts full JSON (escapes, surrogate pairs,
+    exponents); the printer escapes every control character, so any
+    string is safe to embed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping: quote, backslash, [\b \f \n \r \t],
+    remaining control characters (and DEL) as [\uXXXX].  The result is
+    what goes {e between} the quotes. *)
+
+val to_string : ?indent:int -> t -> string
+(** Serialise; [indent] > 0 pretty-prints with that many spaces per
+    level (default compact). *)
+
+val of_string : string -> (t, string) result
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_obj : t -> (string * t) list option

@@ -10,18 +10,33 @@ type gauge = {
   mutable level : float;
 }
 
+type histo = {
+  h_name : string;
+  h_doc : string;
+  h_hist : Histogram.t;
+}
+
 type metric =
   | Counter of counter
   | Gauge of gauge
+  | Histo of histo
 
-(* name -> metric; names are unique across both kinds *)
+(* name -> metric; names are unique across all three kinds *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histo _ -> "histogram"
+
+let kind_clash fn name m =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics.%s: %S is a %s" fn name (kind_name m))
 
 let counter ?(doc = "") name =
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c
-  | Some (Gauge _) ->
-    invalid_arg (Printf.sprintf "Obs.Metrics.counter: %S is a gauge" name)
+  | Some m -> kind_clash "counter" name m
   | None ->
     let c = { c_name = name; c_doc = doc; count = 0 } in
     Hashtbl.add registry name (Counter c);
@@ -34,8 +49,7 @@ let counter_value c = c.count
 let gauge ?(doc = "") name =
   match Hashtbl.find_opt registry name with
   | Some (Gauge g) -> g
-  | Some (Counter _) ->
-    invalid_arg (Printf.sprintf "Obs.Metrics.gauge: %S is a counter" name)
+  | Some m -> kind_clash "gauge" name m
   | None ->
     let g = { g_name = name; g_doc = doc; level = 0. } in
     Hashtbl.add registry name (Gauge g);
@@ -44,9 +58,19 @@ let gauge ?(doc = "") name =
 let set g v = g.level <- v
 let gauge_value g = g.level
 
+let histogram ?(doc = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histo h) -> h.h_hist
+  | Some m -> kind_clash "histogram" name m
+  | None ->
+    let h = { h_name = name; h_doc = doc; h_hist = Histogram.create () } in
+    Hashtbl.add registry name (Histo h);
+    h.h_hist
+
 type value =
   | Count of int
   | Value of float
+  | Dist of Histogram.summary
 
 type entry = {
   name : string;
@@ -57,6 +81,9 @@ type entry = {
 let entry_of = function
   | Counter c -> { name = c.c_name; doc = c.c_doc; value = Count c.count }
   | Gauge g -> { name = g.g_name; doc = g.g_doc; value = Value g.level }
+  | Histo h ->
+    { name = h.h_name; doc = h.h_doc;
+      value = Dist (Histogram.summary h.h_hist) }
 
 let snapshot ?(prefix = "") () =
   Hashtbl.fold
@@ -72,36 +99,161 @@ let reset () =
     (fun _ m ->
       match m with
       | Counter c -> c.count <- 0
-      | Gauge g -> g.level <- 0.)
+      | Gauge g -> g.level <- 0.
+      | Histo h -> Histogram.clear h.h_hist)
     registry
+
+(* ------------------------------------------------------------------ *)
+(* Scoped (per-phase) readings over the cumulative registry. *)
+
+type baseline =
+  | B_count of int
+  | B_level of float
+  | B_hist of Histogram.t
+
+let with_scope f =
+  let base : (string, baseline) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length registry)
+  in
+  Hashtbl.iter
+    (fun name m ->
+      let b =
+        match m with
+        | Counter c -> B_count c.count
+        | Gauge g -> B_level g.level
+        | Histo h -> B_hist (Histogram.copy h.h_hist)
+      in
+      Hashtbl.replace base name b)
+    registry;
+  let result = f () in
+  let entries =
+    Hashtbl.fold
+      (fun name m acc ->
+        let e = entry_of m in
+        let e =
+          match (m, Hashtbl.find_opt base name) with
+          | Counter c, Some (B_count before) ->
+            { e with value = Count (c.count - before) }
+          | Gauge _, Some (B_level _) -> e (* gauges are instantaneous *)
+          | Histo h, Some (B_hist before) ->
+            { e with
+              value = Dist (Histogram.summary
+                              (Histogram.diff ~before h.h_hist)) }
+          | _, None -> e (* registered inside the scope: full value *)
+          | _, Some _ -> e (* kind change is impossible (names are sticky) *)
+        in
+        e :: acc)
+      registry []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  (result, entries)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
 
 let string_of_value = function
   | Count n -> string_of_int n
   | Value v -> Printf.sprintf "%g" v
+  | Dist s ->
+    Printf.sprintf "n=%d p50=%g p99=%g" s.Histogram.s_count
+      s.Histogram.s_p50 s.Histogram.s_p99
 
-let is_zero = function Count 0 | Value 0. -> true | Count _ | Value _ -> false
+let is_zero = function
+  | Count 0 | Value 0. -> true
+  | Dist s -> s.Histogram.s_count = 0
+  | Count _ | Value _ -> false
 
-(* A local renderer: Report.Table depends on this library (via
-   Report.Timing's clock), so obs cannot use it back. *)
-let to_table ?prefix ?(omit_zero = false) () =
+(* Nanosecond quantities (by the [_ns] naming convention) render as
+   humanised times; everything else as plain numbers. *)
+let is_time_name name = String.ends_with ~suffix:"_ns" name
+
+let pp_quantity ~time v =
+  if not time then Printf.sprintf "%g" v
+  else if v >= 1e9 then Printf.sprintf "%.2fs" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2fms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2fus" (v /. 1e3)
+  else Printf.sprintf "%.0fns" v
+
+let render_table rows =
+  (* rows: header :: data; every row has the same arity.  Left-align
+     the first column, right-align the rest. *)
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+    let arity = List.length header in
+    let widths = Array.make arity 0 in
+    List.iter
+      (List.iteri (fun i cell ->
+           widths.(i) <- max widths.(i) (String.length cell)))
+      rows;
+    let rtrim s =
+      let n = ref (String.length s) in
+      while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+      String.sub s 0 !n
+    in
+    let line cells =
+      rtrim
+        (String.concat "  "
+           (List.mapi
+              (fun i cell ->
+                if i = 0 then Printf.sprintf "%-*s" widths.(i) cell
+                else Printf.sprintf "%*s" widths.(i) cell)
+              cells))
+      ^ "\n"
+    in
+    String.concat "" (List.map line rows)
+
+let render_entries ?(omit_zero = false) entries =
   let entries =
-    List.filter
-      (fun e -> not (omit_zero && is_zero e.value))
-      (snapshot ?prefix ())
+    List.filter (fun e -> not (omit_zero && is_zero e.value)) entries
   in
-  if entries = [] then "(no metrics recorded)\n"
-  else begin
+  let scalars, dists =
+    List.partition
+      (fun e -> match e.value with Dist _ -> false | _ -> true)
+      entries
+  in
+  let buf = Buffer.create 256 in
+  if scalars <> [] then begin
     let cells =
-      List.map (fun e -> (e.name, string_of_value e.value, e.doc)) entries
+      List.map (fun e -> (e.name, string_of_value e.value, e.doc)) scalars
     in
     let width f =
       List.fold_left (fun w c -> max w (String.length (f c))) 0 cells
     in
     let name_w = width (fun (n, _, _) -> n)
     and value_w = width (fun (_, v, _) -> v) in
-    let line (n, v, d) =
-      Printf.sprintf "%-*s  %*s%s\n" name_w n value_w v
-        (if d = "" then "" else "  " ^ d)
+    List.iter
+      (fun (n, v, d) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s  %*s%s\n" name_w n value_w v
+             (if d = "" then "" else "  " ^ d)))
+      cells
+  end;
+  if dists <> [] then begin
+    if scalars <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf "distributions:\n";
+    let header =
+      [ "name"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
     in
-    String.concat "" (List.map line cells)
-  end
+    let rows =
+      List.filter_map
+        (fun e ->
+          match e.value with
+          | Dist s ->
+            let time = is_time_name e.name in
+            let q = pp_quantity ~time in
+            Some
+              [ e.name; string_of_int s.Histogram.s_count;
+                q s.Histogram.s_mean; q s.Histogram.s_p50;
+                q s.Histogram.s_p90; q s.Histogram.s_p99;
+                q s.Histogram.s_max ]
+          | _ -> None)
+        dists
+    in
+    Buffer.add_string buf (render_table (header :: rows))
+  end;
+  if Buffer.length buf = 0 then "(no metrics recorded)\n"
+  else Buffer.contents buf
+
+let to_table ?prefix ?omit_zero () =
+  render_entries ?omit_zero (snapshot ?prefix ())

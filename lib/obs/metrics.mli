@@ -1,15 +1,17 @@
-(** Process-wide registry of named counters and gauges.
+(** Process-wide registry of named counters, gauges, and histograms.
 
     Counters are the paper's work quantities made first-class: PareDown
     fit checks (§4.2's [n(n+1)/2] bound), exhaustive search nodes,
     annealing moves, simulator events, emitted C bytes.  Instrumented
     code creates its counters once at module initialisation and bumps
     them unconditionally — an increment is a single unboxed int store,
-    cheap enough for hot loops.
+    cheap enough for hot loops.  Histograms ({!Histogram}) carry the
+    distributions behind the totals: settle latencies, fit-check batch
+    sizes, emitted program sizes.
 
     The registry is global and cumulative; harnesses that want
-    per-phase numbers call {!reset} between phases (see
-    [bin/run_experiments.ml]) or diff two {!snapshot}s. *)
+    per-phase numbers wrap the phase in {!with_scope} (see
+    [bin/run_experiments.ml]) or call {!reset} between phases. *)
 
 type counter
 type gauge
@@ -32,11 +34,18 @@ val gauge : ?doc:string -> string -> gauge
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
+val histogram : ?doc:string -> string -> Histogram.t
+(** [histogram name] registers (idempotently) a log-bucketed histogram.
+    Time distributions take a [_ns] suffix by convention — renderers
+    humanise those.  Observe with {!Histogram.observe} /
+    {!Histogram.time}. *)
+
 (** {2 Inspection} *)
 
 type value =
   | Count of int
   | Value of float
+  | Dist of Histogram.summary
 
 type entry = {
   name : string;
@@ -51,9 +60,38 @@ val snapshot : ?prefix:string -> unit -> entry list
 val find : string -> entry option
 
 val reset : unit -> unit
-(** Zero every counter and gauge (registrations persist). *)
+(** Zero every counter, gauge, and histogram (registrations persist). *)
+
+val with_scope : (unit -> 'a) -> 'a * entry list
+(** [with_scope f] snapshots the registry, runs [f], and returns its
+    result together with the {e per-scope} readings: counter deltas,
+    histogram diffs ({!Histogram.diff}), and current gauge levels
+    (gauges are instantaneous, so they are reported as-is).  Metrics
+    first registered inside the scope appear with their full value.
+    This is the safe replacement for the reset-then-read pattern on
+    the cumulative registry: nothing is zeroed, so concurrent
+    whole-process totals stay intact.  If [f] raises, the exception
+    propagates and no reading is produced. *)
+
+(** {2 Rendering} *)
+
+val string_of_value : value -> string
+
+val is_time_name : string -> bool
+(** The [_ns] naming convention: [true] for metrics whose values are
+    nanoseconds and should render as humanised times. *)
+
+val pp_quantity : time:bool -> float -> string
+(** ["1.23ms"] when [time], ["%g"] otherwise. *)
+
+val render_table : string list list -> string
+(** Aligned columns (first left, rest right) over [header :: rows];
+    shared by the metric renderers and the perf-compare CLI. *)
+
+val render_entries : ?omit_zero:bool -> entry list -> string
+(** Aligned table of scalar metrics, followed by a
+    count/mean/p50/p90/p99/max table for histogram entries.
+    [omit_zero] (default [false]) drops metrics still at zero. *)
 
 val to_table : ?prefix:string -> ?omit_zero:bool -> unit -> string
-(** Render the snapshot as an aligned two-column table.  [omit_zero]
-    (default [false]) drops metrics still at zero — useful after a run
-    that exercised only part of the pipeline. *)
+(** [render_entries] over a fresh {!snapshot}. *)

@@ -1,0 +1,93 @@
+type agg = {
+  mutable calls : int;
+  mutable total_ns : float;
+  mutable self_ns : float;
+}
+
+type frame = {
+  f_name : string;
+  f_start : int64;
+  mutable f_child_ns : float;
+}
+
+type t = {
+  table : (string, agg) Hashtbl.t;
+  mutable stack : frame list;
+}
+
+let create () = { table = Hashtbl.create 16; stack = [] }
+
+let agg_of t name =
+  match Hashtbl.find_opt t.table name with
+  | Some a -> a
+  | None ->
+    let a = { calls = 0; total_ns = 0.; self_ns = 0. } in
+    Hashtbl.add t.table name a;
+    a
+
+let sink t =
+  {
+    Trace.start_span =
+      (fun ~name ~args:_ ~ts_ns ->
+        t.stack <- { f_name = name; f_start = ts_ns; f_child_ns = 0. }
+                   :: t.stack);
+    end_span =
+      (fun ~name:_ ~ts_ns ->
+        match t.stack with
+        | [] -> () (* installed mid-span: ignore the unmatched close *)
+        | frame :: rest ->
+          t.stack <- rest;
+          let dur = Int64.to_float (Int64.sub ts_ns frame.f_start) in
+          let a = agg_of t frame.f_name in
+          a.calls <- a.calls + 1;
+          a.total_ns <- a.total_ns +. dur;
+          a.self_ns <- a.self_ns +. (dur -. frame.f_child_ns);
+          (match rest with
+           | parent :: _ -> parent.f_child_ns <- parent.f_child_ns +. dur
+           | [] -> ()));
+    instant =
+      (fun ~name ~args:_ ~ts_ns:_ ->
+        let a = agg_of t ("! " ^ name) in
+        a.calls <- a.calls + 1);
+    flush = ignore;
+  }
+
+type row = {
+  name : string;
+  calls : int;
+  total_ns : float;
+  self_ns : float;
+}
+
+let rows t =
+  Hashtbl.fold
+    (fun name (a : agg) acc ->
+      { name; calls = a.calls; total_ns = a.total_ns; self_ns = a.self_ns }
+      :: acc)
+    t.table []
+  |> List.sort (fun a b -> compare b.self_ns a.self_ns)
+
+let to_table ?(top = 15) t =
+  let rows = rows t in
+  if rows = [] then "(no spans recorded)\n"
+  else begin
+    let wall = List.fold_left (fun acc r -> acc +. r.self_ns) 0. rows in
+    let shown = List.filteri (fun i _ -> i < top) rows in
+    let dropped = List.length rows - List.length shown in
+    let q = Metrics.pp_quantity ~time:true in
+    let body =
+      Metrics.render_table
+        ([ "span"; "calls"; "total"; "self"; "self%" ]
+         :: List.map
+              (fun r ->
+                [ r.name; string_of_int r.calls; q r.total_ns; q r.self_ns;
+                  (if wall > 0. then
+                     Printf.sprintf "%.1f%%" (r.self_ns /. wall *. 100.)
+                   else "-") ])
+              shown)
+    in
+    if dropped > 0 then
+      body ^ Printf.sprintf "(%d more span name(s) below the top %d)\n"
+               dropped top
+    else body
+  end

@@ -1,0 +1,32 @@
+(** Aggregating profiler sink: per-span-name call counts, total time,
+    and self time (total minus child spans).
+
+    Where {!Chrome} keeps every event for a timeline, this sink folds
+    them into a flat profile as they arrive — the "where did this run
+    spend its time" table behind [paredown perf profile], with no
+    post-processing and O(distinct span names) memory.
+
+    Instants are tallied as call-count-only rows prefixed ["! "].
+    Like the tracer itself, single-threaded by design. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Trace.sink
+(** Install with [Obs.Trace.set_sink (Obs.Profile.sink p)].  An
+    unmatched [end_span] (sink installed mid-span) is ignored. *)
+
+type row = {
+  name : string;
+  calls : int;
+  total_ns : float;
+  self_ns : float;
+}
+
+val rows : t -> row list
+(** Sorted by self time, largest first. *)
+
+val to_table : ?top:int -> t -> string
+(** Top-[top] (default 15) rows with humanised times and a self-time
+    percentage column. *)

@@ -1,0 +1,383 @@
+let schema_name = "paredown-perf-snapshot"
+let schema_version = 1
+
+type value =
+  | Int of int
+  | Float of float
+  | Dist of Histogram.summary
+
+type t = {
+  git_rev : string option;
+  ocaml_version : string;
+  config : (string * string) list;
+  metrics : (string * value) list;
+  times_ns : (string * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Environment fingerprinting *)
+
+let read_first_line path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (String.trim (input_line ic)))
+  with Sys_error _ | End_of_file -> None
+
+(* The current git revision, by reading .git directly (no subprocess):
+   walk up from [dir] to the repository root, follow HEAD one level of
+   indirection.  [None] outside a repository — the snapshot is still
+   valid, just unpinned. *)
+let git_rev ?(dir = ".") () =
+  let rec find_git dir depth =
+    if depth > 16 then None
+    else
+      let candidate = Filename.concat dir ".git" in
+      if Sys.file_exists candidate then Some candidate
+      else find_git (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  match find_git dir 0 with
+  | None -> None
+  | Some git_path ->
+    let git_dir =
+      (* worktrees: .git is a file containing "gitdir: <path>" *)
+      if Sys.is_directory git_path then Some git_path
+      else
+        Option.bind (read_first_line git_path) (fun line ->
+            if String.starts_with ~prefix:"gitdir:" line then
+              Some
+                (String.trim
+                   (String.sub line 7 (String.length line - 7)))
+            else None)
+    in
+    Option.bind git_dir (fun git_dir ->
+        Option.bind (read_first_line (Filename.concat git_dir "HEAD"))
+          (fun head ->
+            if String.starts_with ~prefix:"ref: " head then
+              let ref_name =
+                String.sub head 5 (String.length head - 5)
+              in
+              read_first_line (Filename.concat git_dir ref_name)
+            else Some head))
+
+(* ------------------------------------------------------------------ *)
+(* Capture *)
+
+let value_of_metric = function
+  | Metrics.Count n -> Int n
+  | Metrics.Value v -> Float v
+  | Metrics.Dist s -> Dist s
+
+let make ?git_rev:rev ?(config = []) ?(times_ns = []) ~metrics () =
+  {
+    git_rev = (match rev with Some _ -> rev | None -> git_rev ());
+    ocaml_version = Sys.ocaml_version;
+    config = List.sort compare config;
+    metrics =
+      List.sort compare
+        (List.map
+           (fun e -> (e.Metrics.name, value_of_metric e.Metrics.value))
+           metrics);
+    times_ns = List.sort compare times_ns;
+  }
+
+let capture ?git_rev ?config ?times_ns () =
+  make ?git_rev ?config ?times_ns ~metrics:(Metrics.snapshot ()) ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding *)
+
+let json_of_summary (s : Histogram.summary) =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int s.Histogram.s_count));
+      ("sum", Json.Num s.Histogram.s_sum);
+      ("mean", Json.Num s.Histogram.s_mean);
+      ("min", Json.Num s.Histogram.s_min);
+      ("p50", Json.Num s.Histogram.s_p50);
+      ("p90", Json.Num s.Histogram.s_p90);
+      ("p99", Json.Num s.Histogram.s_p99);
+      ("max", Json.Num s.Histogram.s_max);
+    ]
+
+let json_of_value = function
+  | Int n -> Json.Num (float_of_int n)
+  | Float v -> Json.Num v
+  | Dist s -> json_of_summary s
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_name);
+      ("version", Json.Num (float_of_int schema_version));
+      ( "git_rev",
+        match t.git_rev with Some r -> Json.Str r | None -> Json.Null );
+      ("ocaml_version", Json.Str t.ocaml_version);
+      ("config", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.config));
+      ( "times_ns",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) t.times_ns) );
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) t.metrics));
+    ]
+
+let to_string t = Json.to_string ~indent:2 (to_json t) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding *)
+
+let ( let* ) r f = Result.bind r f
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "snapshot: missing or ill-typed %s" what)
+
+let summary_of_json j =
+  let field name =
+    require ("metrics distribution field " ^ name)
+      (Option.bind (Json.member name j) Json.to_float)
+  in
+  let* count = field "count" in
+  let* sum = field "sum" in
+  let* mean = field "mean" in
+  let* min = field "min" in
+  let* p50 = field "p50" in
+  let* p90 = field "p90" in
+  let* p99 = field "p99" in
+  let* max = field "max" in
+  Ok
+    {
+      Histogram.s_count = int_of_float count;
+      s_sum = sum; s_mean = mean; s_min = min; s_p50 = p50; s_p90 = p90;
+      s_p99 = p99; s_max = max;
+    }
+
+let value_of_json = function
+  | Json.Num v ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Ok (Int (int_of_float v))
+    else Ok (Float v)
+  | Json.Obj _ as j ->
+    let* s = summary_of_json j in
+    Ok (Dist s)
+  | _ -> Error "snapshot: metric value is neither a number nor an object"
+
+let rec map_fields f = function
+  | [] -> Ok []
+  | (k, v) :: rest ->
+    let* v = f k v in
+    let* rest = map_fields f rest in
+    Ok ((k, v) :: rest)
+
+let of_json j =
+  let* schema =
+    require "schema" (Option.bind (Json.member "schema" j) Json.to_str)
+  in
+  if schema <> schema_name then
+    Error (Printf.sprintf "snapshot: schema is %S, expected %S" schema
+             schema_name)
+  else
+    let* version =
+      require "version" (Option.bind (Json.member "version" j) Json.to_float)
+    in
+    if int_of_float version <> schema_version then
+      Error
+        (Printf.sprintf "snapshot: version %d unsupported (expected %d)"
+           (int_of_float version) schema_version)
+    else
+      let git_rev = Option.bind (Json.member "git_rev" j) Json.to_str in
+      let* ocaml_version =
+        require "ocaml_version"
+          (Option.bind (Json.member "ocaml_version" j) Json.to_str)
+      in
+      let* config_fields =
+        require "config" (Option.bind (Json.member "config" j) Json.to_obj)
+      in
+      let* config =
+        map_fields
+          (fun k v -> require ("config." ^ k) (Json.to_str v))
+          config_fields
+      in
+      let* time_fields =
+        require "times_ns"
+          (Option.bind (Json.member "times_ns" j) Json.to_obj)
+      in
+      let* times_ns =
+        map_fields
+          (fun k v -> require ("times_ns." ^ k) (Json.to_float v))
+          time_fields
+      in
+      let* metric_fields =
+        require "metrics" (Option.bind (Json.member "metrics" j) Json.to_obj)
+      in
+      let* metrics = map_fields (fun _ v -> value_of_json v) metric_fields in
+      Ok { git_rev; ocaml_version; config; metrics; times_ns }
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Merge (min-of-k noise reducer) *)
+
+let merge_value a b =
+  match (a, b) with
+  | Int x, Int y -> Int (min x y)
+  | Float x, Float y -> Float (Float.min x y)
+  | Dist x, Dist y ->
+    Dist
+      {
+        Histogram.s_count = min x.Histogram.s_count y.Histogram.s_count;
+        s_sum = Float.min x.Histogram.s_sum y.Histogram.s_sum;
+        s_mean = Float.min x.Histogram.s_mean y.Histogram.s_mean;
+        s_min = Float.min x.Histogram.s_min y.Histogram.s_min;
+        s_p50 = Float.min x.Histogram.s_p50 y.Histogram.s_p50;
+        s_p90 = Float.min x.Histogram.s_p90 y.Histogram.s_p90;
+        s_p99 = Float.min x.Histogram.s_p99 y.Histogram.s_p99;
+        s_max = Float.min x.Histogram.s_max y.Histogram.s_max;
+      }
+  | v, _ -> v (* kind mismatch: keep the first reading *)
+
+let merge_assoc merge a b =
+  let keys =
+    List.sort_uniq compare (List.map fst a @ List.map fst b)
+  in
+  List.map
+    (fun k ->
+      match (List.assoc_opt k a, List.assoc_opt k b) with
+      | Some x, Some y -> (k, merge x y)
+      | Some x, None | None, Some x -> (k, x)
+      | None, None -> assert false)
+    keys
+
+let merge a b =
+  {
+    a with
+    metrics = merge_assoc merge_value a.metrics b.metrics;
+    times_ns = merge_assoc Float.min a.times_ns b.times_ns;
+  }
+
+let merge_all = function
+  | [] -> invalid_arg "Obs.Snapshot.merge_all: empty list"
+  | first :: rest -> List.fold_left merge first rest
+
+(* ------------------------------------------------------------------ *)
+(* Comparison *)
+
+type delta = {
+  d_name : string;
+  d_time : bool;
+  d_base : float option;
+  d_cur : float option;
+}
+
+let scalar_of_value = function
+  | Int n -> Some (float_of_int n)
+  | Float v -> Some v
+  | Dist s -> if s.Histogram.s_count = 0 then None else Some s.Histogram.s_p90
+
+let diff ~base cur =
+  let keys l = List.map fst l in
+  let all_time_keys =
+    List.sort_uniq compare (keys base.times_ns @ keys cur.times_ns)
+  in
+  let all_metric_keys =
+    List.sort_uniq compare (keys base.metrics @ keys cur.metrics)
+  in
+  List.map
+    (fun k ->
+      {
+        d_name = k;
+        d_time = true;
+        d_base = List.assoc_opt k base.times_ns;
+        d_cur = List.assoc_opt k cur.times_ns;
+      })
+    all_time_keys
+  @ List.filter_map
+      (fun k ->
+        let scalar side = Option.bind (List.assoc_opt k side) scalar_of_value in
+        match (scalar base.metrics, scalar cur.metrics) with
+        | None, None -> None
+        | b, c ->
+          Some
+            {
+              d_name = k;
+              d_time = Metrics.is_time_name k;
+              d_base = b;
+              d_cur = c;
+            })
+      all_metric_keys
+
+type regression = {
+  r_metric : string;
+  r_base : float;
+  r_cur : float;
+  r_ratio : float;
+}
+
+let gate ?(max_ratio = 1.5) ?(min_abs_ns = 1e6) ?(counter_max_ratio = 1.1)
+    ?(min_abs_count = 1000.) ~base cur =
+  let check ~ratio_limit ~abs_floor name b c acc =
+    if b > 0. && c > b *. ratio_limit && c -. b > abs_floor then
+      { r_metric = name; r_base = b; r_cur = c; r_ratio = c /. b } :: acc
+    else acc
+  in
+  let times =
+    List.fold_left
+      (fun acc (name, c) ->
+        match List.assoc_opt name base.times_ns with
+        | Some b ->
+          check ~ratio_limit:max_ratio ~abs_floor:min_abs_ns name b c acc
+        | None -> acc)
+      [] cur.times_ns
+  in
+  let counters =
+    List.fold_left
+      (fun acc (name, v) ->
+        match (v, List.assoc_opt name base.metrics) with
+        | Int c, Some (Int b) ->
+          check ~ratio_limit:counter_max_ratio ~abs_floor:min_abs_count name
+            (float_of_int b) (float_of_int c) acc
+        | _ -> acc)
+      [] cur.metrics
+  in
+  List.sort (fun a b -> compare b.r_ratio a.r_ratio) (times @ counters)
+
+let render_diff ~base cur =
+  let deltas = diff ~base cur in
+  let fmt time = function
+    | None -> "-"
+    | Some v -> Metrics.pp_quantity ~time v
+  in
+  let pct b c =
+    match (b, c) with
+    | Some b, Some c when b > 0. ->
+      let p = (c -. b) /. b *. 100. in
+      if Float.abs p < 0.005 then "=" else Printf.sprintf "%+.1f%%" p
+    | _ -> "-"
+  in
+  let rows =
+    [ "metric"; "base"; "new"; "delta" ]
+    :: List.filter_map
+         (fun d ->
+           if d.d_base = None && d.d_cur = None then None
+           else
+             Some
+               [ d.d_name; fmt d.d_time d.d_base; fmt d.d_time d.d_cur;
+                 pct d.d_base d.d_cur ])
+         deltas
+  in
+  Metrics.render_table rows

@@ -15,6 +15,10 @@ let m_settles =
 let m_settle_iterations =
   Obs.Metrics.counter "sim.settle_iterations"
     ~doc:"events drained across all settles"
+let h_settle_ns =
+  Obs.Metrics.histogram "sim.settle_ns" ~doc:"settle wall time"
+let h_settle_events =
+  Obs.Metrics.histogram "sim.settle_events" ~doc:"events drained per settle"
 
 type value = Behavior.Ast.value
 
@@ -340,6 +344,7 @@ let run_until t horizon =
 
 let settle ?(limit = 100_000) t =
   Obs.Trace.with_span "sim.settle" @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
   let rec loop remaining =
     if remaining = 0 then
       raise
@@ -352,7 +357,10 @@ let settle ?(limit = 100_000) t =
     else if step t then loop (remaining - 1)
     else begin
       Obs.Metrics.incr m_settles;
-      Obs.Metrics.add m_settle_iterations (limit - remaining)
+      Obs.Metrics.add m_settle_iterations (limit - remaining);
+      Obs.Histogram.observe h_settle_ns
+        (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
+      Obs.Histogram.observe_int h_settle_events (limit - remaining)
     end
   in
   loop limit

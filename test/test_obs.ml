@@ -226,6 +226,66 @@ let test_chrome_empty_recording_valid () =
   let r = Obs.Chrome.create () in
   validate_json (Obs.Chrome.contents r)
 
+let test_chrome_nested_same_timestamp () =
+  (* Nested spans and instants interleaved at one timestamp: drive the
+     sink directly so every event carries the identical ts, as happens
+     when spans close faster than the clock granularity. *)
+  let r = Obs.Chrome.create () in
+  let s = Obs.Chrome.sink r in
+  let ts = Obs.Clock.now_ns () in
+  s.Obs.Trace.start_span ~name:"outer" ~args:[] ~ts_ns:ts;
+  s.Obs.Trace.instant ~name:"mark-1" ~args:[ ("k", "v") ] ~ts_ns:ts;
+  s.Obs.Trace.start_span ~name:"inner" ~args:[] ~ts_ns:ts;
+  s.Obs.Trace.instant ~name:"mark-2" ~args:[] ~ts_ns:ts;
+  s.Obs.Trace.end_span ~name:"inner" ~ts_ns:ts;
+  s.Obs.Trace.end_span ~name:"outer" ~ts_ns:ts;
+  let json = Obs.Chrome.contents r in
+  validate_json json;
+  match Obs.Json.of_string json with
+  | Error msg -> Alcotest.failf "chrome document does not parse: %s" msg
+  | Ok (Obs.Json.Arr events) ->
+    Alcotest.(check int) "6 events" 6 (List.length events);
+    let phase e =
+      match Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str with
+      | Some p -> p
+      | None -> Alcotest.fail "event without ph"
+    in
+    let count p = List.length (List.filter (fun e -> phase e = p) events) in
+    Alcotest.(check int) "balanced B/E" (count "B") (count "E");
+    Alcotest.(check int) "2 opens" 2 (count "B");
+    Alcotest.(check int) "2 instants" 2 (count "i");
+    let ts_values =
+      List.filter_map
+        (fun e -> Option.bind (Obs.Json.member "ts" e) Obs.Json.to_float)
+        events
+    in
+    Alcotest.(check int) "every event has a ts" 6 (List.length ts_values);
+    List.iter
+      (fun v ->
+        Alcotest.(check (float 0.)) "identical timestamps"
+          (List.hd ts_values) v)
+      ts_values
+  | Ok _ -> Alcotest.fail "chrome document is not a JSON array"
+
+(* Property: whatever the span names, arg keys, and arg values contain
+   — any byte 0x00-0xff — the emitted document parses. *)
+let test_chrome_escaping_property =
+  let any_string = QCheck.string_gen QCheck.Gen.char in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"chrome JSON parses for any strings"
+       QCheck.(triple any_string any_string any_string)
+       (fun (name, key, value) ->
+         let r = Obs.Chrome.create () in
+         Obs.Trace.set_sink (Obs.Chrome.sink r);
+         Obs.Trace.with_span name ~args:[ (key, value) ] (fun () ->
+             Obs.Trace.instant value ~args:[ (name, key) ]);
+         Obs.Trace.reset ();
+         let json = Obs.Chrome.contents r in
+         match Obs.Json.of_string json with
+         | Ok _ -> validate_json json; true
+         | Error msg ->
+           QCheck.Test.fail_reportf "does not parse: %s\n%s" msg json))
+
 let test_paredown_run_traces_spans () =
   let r = Obs.Chrome.create () in
   Obs.Trace.set_sink (Obs.Chrome.sink r);
@@ -235,6 +295,335 @@ let test_paredown_run_traces_spans () =
   validate_json json;
   Alcotest.(check bool) "paredown.run span recorded" true
     (Testlib.contains json "\"name\":\"paredown.run\"")
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let test_histogram_statistics () =
+  let h = Obs.Histogram.create () in
+  for i = 1 to 1000 do
+    Obs.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum is exact" 500500. (Obs.Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "mean is exact" 500.5 (Obs.Histogram.mean h);
+  Alcotest.(check (float 0.)) "min is exact" 1. (Obs.Histogram.min_value h);
+  Alcotest.(check (float 0.)) "max is exact" 1000. (Obs.Histogram.max_value h);
+  (* log buckets at 4 sub-buckets/octave: quantiles within ~19% *)
+  let within p expected =
+    let v = Obs.Histogram.percentile h p in
+    let err = Float.abs (v -. expected) /. expected in
+    if err > 0.19 then
+      Alcotest.failf "p%g = %g, more than 19%% from %g" p v expected
+  in
+  within 50. 500.;
+  within 90. 900.;
+  within 99. 990.;
+  Alcotest.(check (float 0.)) "p0 clamps to min" 1.
+    (Obs.Histogram.percentile h 0.);
+  Alcotest.(check (float 0.)) "p100 clamps to max" 1000.
+    (Obs.Histogram.percentile h 100.)
+
+let test_histogram_empty_and_clear () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.)) "empty percentile" 0.
+    (Obs.Histogram.percentile h 99.);
+  Obs.Histogram.observe h 5.;
+  Obs.Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Obs.Histogram.count h);
+  let s = Obs.Histogram.summary h in
+  Alcotest.(check int) "summary of empty" 0 s.Obs.Histogram.s_count
+
+let test_histogram_diff () =
+  let h = Obs.Histogram.create () in
+  Obs.Histogram.observe h 10.;
+  Obs.Histogram.observe h 20.;
+  let before = Obs.Histogram.copy h in
+  Obs.Histogram.observe h 30.;
+  Obs.Histogram.observe h 40.;
+  Obs.Histogram.observe h 50.;
+  let d = Obs.Histogram.diff ~before h in
+  Alcotest.(check int) "diff count" 3 (Obs.Histogram.count d);
+  Alcotest.(check (float 1e-6)) "diff sum" 120. (Obs.Histogram.sum d);
+  (* min/max of a diff are bucket-resolution approximations *)
+  let rel a b = Float.abs (a -. b) /. b in
+  Alcotest.(check bool) "diff min near 30" true
+    (rel (Obs.Histogram.min_value d) 30. < 0.19);
+  Alcotest.(check bool) "diff max near 50" true
+    (rel (Obs.Histogram.max_value d) 50. < 0.19);
+  (* an empty before diffs exactly *)
+  let d0 = Obs.Histogram.diff ~before:(Obs.Histogram.create ()) h in
+  Alcotest.(check int) "diff against empty is a copy" 5
+    (Obs.Histogram.count d0)
+
+let test_histogram_time_and_registry () =
+  let h = Obs.Metrics.histogram "test.obs.hist_ns" ~doc:"a latency" in
+  let h' = Obs.Metrics.histogram "test.obs.hist_ns" in
+  let x = Obs.Histogram.time h (fun () -> 42) in
+  Alcotest.(check int) "time returns the body's value" 42 x;
+  Alcotest.(check int) "registration is idempotent (same cell)" 1
+    (Obs.Histogram.count h');
+  (match Obs.Metrics.find "test.obs.hist_ns" with
+   | Some { Obs.Metrics.value = Obs.Metrics.Dist s; _ } ->
+     Alcotest.(check int) "registry sees the observation" 1
+       s.Obs.Histogram.s_count
+   | Some _ | None -> Alcotest.fail "histogram not found in registry");
+  let table = Obs.Metrics.to_table ~prefix:"test.obs.hist" () in
+  Alcotest.(check bool) "table has percentile columns" true
+    (Testlib.contains table "p50" && Testlib.contains table "p99");
+  Alcotest.(check bool) "table names the histogram" true
+    (Testlib.contains table "test.obs.hist_ns");
+  Alcotest.check_raises "histogram name cannot become a counter"
+    (Invalid_argument
+       "Obs.Metrics.counter: \"test.obs.hist_ns\" is a histogram")
+    (fun () -> ignore (Obs.Metrics.counter "test.obs.hist_ns"))
+
+(* ------------------------------------------------------------------ *)
+(* with_scope *)
+
+let test_with_scope_deltas () =
+  let c = Obs.Metrics.counter "test.obs.scope_counter" in
+  let g = Obs.Metrics.gauge "test.obs.scope_gauge" in
+  let h = Obs.Metrics.histogram "test.obs.scope_hist" in
+  Obs.Metrics.add c 5;
+  Obs.Histogram.observe h 100.;
+  let result, entries =
+    Obs.Metrics.with_scope (fun () ->
+        Obs.Metrics.add c 3;
+        Obs.Metrics.set g 2.5;
+        Obs.Histogram.observe h 200.;
+        Obs.Histogram.observe h 300.;
+        "done")
+  in
+  Alcotest.(check string) "result passes through" "done" result;
+  let entry name =
+    match List.find_opt (fun e -> e.Obs.Metrics.name = name) entries with
+    | Some e -> e.Obs.Metrics.value
+    | None -> Alcotest.failf "scope entry %s missing" name
+  in
+  (match entry "test.obs.scope_counter" with
+   | Obs.Metrics.Count n ->
+     Alcotest.(check int) "counter delta, not total" 3 n
+   | _ -> Alcotest.fail "counter entry has wrong kind");
+  (match entry "test.obs.scope_gauge" with
+   | Obs.Metrics.Value v ->
+     Alcotest.(check (float 0.)) "gauge reports its level" 2.5 v
+   | _ -> Alcotest.fail "gauge entry has wrong kind");
+  (match entry "test.obs.scope_hist" with
+   | Obs.Metrics.Dist s ->
+     Alcotest.(check int) "histogram diff count" 2 s.Obs.Histogram.s_count
+   | _ -> Alcotest.fail "histogram entry has wrong kind");
+  Alcotest.(check int) "registry total is untouched" 8
+    (Obs.Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_round_trip () =
+  let doc =
+    Obs.Json.(
+      Obj
+        [
+          ("s", Str "a \"b\"\n\t\x01c\\");
+          ("n", Num 1.5);
+          ("i", Num 42.);
+          ("neg", Num (-0.25));
+          ("arr", Arr [ Null; Bool true; Bool false; Str "" ]);
+          ("empty_obj", Obj []);
+          ("empty_arr", Arr []);
+        ])
+  in
+  let s = Obs.Json.to_string doc in
+  validate_json s;
+  (match Obs.Json.of_string s with
+   | Ok doc' -> Alcotest.(check bool) "round trips structurally" true (doc = doc')
+   | Error msg -> Alcotest.failf "round trip fails: %s" msg);
+  let pretty = Obs.Json.to_string ~indent:2 doc in
+  validate_json pretty;
+  match Obs.Json.of_string pretty with
+  | Ok doc' -> Alcotest.(check bool) "pretty round trips" true (doc = doc')
+  | Error msg -> Alcotest.failf "pretty round trip fails: %s" msg
+
+let test_json_parses_escapes () =
+  (match Obs.Json.of_string "\"\\u0041\\n\\u00e9\"" with
+   | Ok (Obs.Json.Str s) ->
+     Alcotest.(check string) "unicode escapes decode to UTF-8" "A\n\xc3\xa9" s
+   | Ok _ | Error _ -> Alcotest.fail "escape string did not parse");
+  (match Obs.Json.of_string "\"\\ud83d\\ude00\"" with
+   | Ok (Obs.Json.Str s) ->
+     Alcotest.(check string) "surrogate pair decodes" "\xf0\x9f\x98\x80" s
+   | Ok _ | Error _ -> Alcotest.fail "surrogate pair did not parse");
+  List.iter
+    (fun bad ->
+      match Obs.Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" bad)
+    [ "{"; "[1,]"; "{\"a\":}"; "\"\\q\""; "01"; "\"unterminated"; "1 2";
+      "\"\\ud800\"" ]
+
+let test_json_escape_complete () =
+  for code = 0 to 31 do
+    let escaped = Obs.Json.escape (String.make 1 (Char.chr code)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "control 0x%02x is escaped" code)
+      true
+      (String.length escaped >= 2 && escaped.[0] = '\\')
+  done;
+  Alcotest.(check string) "quote" "\\\"" (Obs.Json.escape "\"");
+  Alcotest.(check string) "backslash" "\\\\" (Obs.Json.escape "\\");
+  Alcotest.(check string) "plain text untouched" "abc" (Obs.Json.escape "abc")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let plain_snapshot ?(metrics = []) ?(times_ns = []) () =
+  {
+    Obs.Snapshot.git_rev = None;
+    ocaml_version = Sys.ocaml_version;
+    config = [];
+    metrics;
+    times_ns;
+  }
+
+let test_snapshot_round_trip () =
+  let c = Obs.Metrics.counter "test.obs.snap_counter" in
+  Obs.Metrics.add c 7;
+  let h = Obs.Metrics.histogram "test.obs.snap_hist_ns" in
+  Obs.Histogram.observe h 1234.;
+  let snap =
+    Obs.Snapshot.capture ~config:[ ("repeats", "3") ]
+      ~times_ns:[ ("perf.demo_ns", 1.5e6) ] ()
+  in
+  let s = Obs.Snapshot.to_string snap in
+  validate_json s;
+  match Obs.Snapshot.of_string s with
+  | Error msg -> Alcotest.failf "snapshot does not parse back: %s" msg
+  | Ok snap' ->
+    Alcotest.(check string) "snapshot round trips byte for byte" s
+      (Obs.Snapshot.to_string snap');
+    Alcotest.(check bool) "counter survives" true
+      (List.assoc_opt "test.obs.snap_counter" snap'.Obs.Snapshot.metrics
+       <> None);
+    Alcotest.(check (option (float 0.))) "time survives" (Some 1.5e6)
+      (List.assoc_opt "perf.demo_ns" snap'.Obs.Snapshot.times_ns)
+
+let test_snapshot_rejects_bad_documents () =
+  List.iter
+    (fun doc ->
+      match Obs.Snapshot.of_string doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad snapshot %s" doc)
+    [
+      "not json";
+      "{}";
+      "{\"schema\":\"other\",\"version\":1}";
+      (* right schema, wrong version *)
+      "{\"schema\":\"paredown-perf-snapshot\",\"version\":99,\
+       \"ocaml_version\":\"5\",\"config\":{},\"times_ns\":{},\
+       \"metrics\":{}}";
+    ]
+
+let test_snapshot_gate () =
+  let base =
+    plain_snapshot
+      ~metrics:[ ("core.paredown.fit_checks", Obs.Snapshot.Int 1000) ]
+      ~times_ns:[ ("perf.sim_ns", 10e6); ("perf.tiny_ns", 1e3) ]
+      ()
+  in
+  Alcotest.(check int) "self-compare passes" 0
+    (List.length (Obs.Snapshot.gate ~base base));
+  (* 10x wall-time blowup on a millisecond-scale group: gated, named *)
+  let slow =
+    plain_snapshot
+      ~metrics:[ ("core.paredown.fit_checks", Obs.Snapshot.Int 1000) ]
+      ~times_ns:[ ("perf.sim_ns", 100e6); ("perf.tiny_ns", 1e3) ]
+      ()
+  in
+  (match Obs.Snapshot.gate ~base slow with
+   | [ r ] ->
+     Alcotest.(check string) "offending metric is named" "perf.sim_ns"
+       r.Obs.Snapshot.r_metric;
+     Alcotest.(check (float 1e-9)) "ratio is 10x" 10. r.Obs.Snapshot.r_ratio
+   | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs));
+  (* the same ratio below the absolute floor: jitter, not a regression *)
+  let jitter =
+    plain_snapshot
+      ~metrics:[ ("core.paredown.fit_checks", Obs.Snapshot.Int 1000) ]
+      ~times_ns:[ ("perf.sim_ns", 10e6); ("perf.tiny_ns", 10e3) ]
+      ()
+  in
+  Alcotest.(check int) "sub-floor growth does not gate" 0
+    (List.length (Obs.Snapshot.gate ~base jitter));
+  (* a deterministic counter creeping 2x: gated even though times hold *)
+  let more_work =
+    plain_snapshot
+      ~metrics:[ ("core.paredown.fit_checks", Obs.Snapshot.Int 3000) ]
+      ~times_ns:[ ("perf.sim_ns", 10e6); ("perf.tiny_ns", 1e3) ]
+      ()
+  in
+  match Obs.Snapshot.gate ~base more_work with
+  | [ r ] ->
+    Alcotest.(check string) "counter regression named"
+      "core.paredown.fit_checks" r.Obs.Snapshot.r_metric
+  | rs -> Alcotest.failf "expected 1 counter regression, got %d"
+            (List.length rs)
+
+let test_snapshot_merge_is_min () =
+  let a =
+    plain_snapshot
+      ~metrics:[ ("m", Obs.Snapshot.Int 5) ]
+      ~times_ns:[ ("perf.x_ns", 10.); ("perf.only_a_ns", 7.) ]
+      ()
+  in
+  let b =
+    plain_snapshot
+      ~metrics:[ ("m", Obs.Snapshot.Int 9) ]
+      ~times_ns:[ ("perf.x_ns", 6.) ]
+      ()
+  in
+  let m = Obs.Snapshot.merge_all [ a; b ] in
+  Alcotest.(check (option (float 0.))) "times take the min" (Some 6.)
+    (List.assoc_opt "perf.x_ns" m.Obs.Snapshot.times_ns);
+  Alcotest.(check (option (float 0.))) "singletons survive" (Some 7.)
+    (List.assoc_opt "perf.only_a_ns" m.Obs.Snapshot.times_ns);
+  Alcotest.(check bool) "metric takes the min" true
+    (List.assoc_opt "m" m.Obs.Snapshot.metrics = Some (Obs.Snapshot.Int 5))
+
+(* ------------------------------------------------------------------ *)
+(* Profiler sink *)
+
+let test_profile_self_time () =
+  let p = Obs.Profile.create () in
+  let s = Obs.Profile.sink p in
+  let ts v = Int64.of_int v in
+  s.Obs.Trace.start_span ~name:"outer" ~args:[] ~ts_ns:(ts 0);
+  s.Obs.Trace.start_span ~name:"inner" ~args:[] ~ts_ns:(ts 100);
+  s.Obs.Trace.instant ~name:"tick" ~args:[] ~ts_ns:(ts 150);
+  s.Obs.Trace.end_span ~name:"inner" ~ts_ns:(ts 300);
+  s.Obs.Trace.start_span ~name:"inner" ~args:[] ~ts_ns:(ts 400);
+  s.Obs.Trace.end_span ~name:"inner" ~ts_ns:(ts 500);
+  s.Obs.Trace.end_span ~name:"outer" ~ts_ns:(ts 1000);
+  let row name =
+    match
+      List.find_opt (fun r -> r.Obs.Profile.name = name) (Obs.Profile.rows p)
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no profile row for %s" name
+  in
+  let outer = row "outer" and inner = row "inner" in
+  Alcotest.(check int) "outer calls" 1 outer.Obs.Profile.calls;
+  Alcotest.(check int) "inner calls" 2 inner.Obs.Profile.calls;
+  Alcotest.(check (float 0.)) "inner total" 300. inner.Obs.Profile.total_ns;
+  Alcotest.(check (float 0.)) "inner self = total (leaf)" 300.
+    inner.Obs.Profile.self_ns;
+  Alcotest.(check (float 0.)) "outer total" 1000. outer.Obs.Profile.total_ns;
+  Alcotest.(check (float 0.)) "outer self excludes children" 700.
+    outer.Obs.Profile.self_ns;
+  Alcotest.(check int) "instant tallied" 1 (row "! tick").Obs.Profile.calls;
+  let table = Obs.Profile.to_table p in
+  Alcotest.(check bool) "table leads with the biggest self time" true
+    (Testlib.contains table "outer")
 
 (* ------------------------------------------------------------------ *)
 (* The instrumented pipeline: §4.2 closed form via the counter *)
@@ -324,8 +713,47 @@ let () =
             test_chrome_json_well_formed;
           Alcotest.test_case "empty recording" `Quick
             test_chrome_empty_recording_valid;
+          Alcotest.test_case "nested + instants at one timestamp" `Quick
+            test_chrome_nested_same_timestamp;
+          test_chrome_escaping_property;
           Alcotest.test_case "paredown spans" `Quick
             test_paredown_run_traces_spans;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "statistics" `Quick test_histogram_statistics;
+          Alcotest.test_case "empty and clear" `Quick
+            test_histogram_empty_and_clear;
+          Alcotest.test_case "diff" `Quick test_histogram_diff;
+          Alcotest.test_case "time and registry" `Quick
+            test_histogram_time_and_registry;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "with_scope deltas" `Quick
+            test_with_scope_deltas;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "escape decoding" `Quick
+            test_json_parses_escapes;
+          Alcotest.test_case "escaping is complete" `Quick
+            test_json_escape_complete;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "round trip" `Quick test_snapshot_round_trip;
+          Alcotest.test_case "bad documents rejected" `Quick
+            test_snapshot_rejects_bad_documents;
+          Alcotest.test_case "regression gate" `Quick test_snapshot_gate;
+          Alcotest.test_case "merge is field-wise min" `Quick
+            test_snapshot_merge_is_min;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "self-time accounting" `Quick
+            test_profile_self_time;
         ] );
       ( "pipeline",
         [
