@@ -1,7 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml for
 # environments without Actions.
 
-.PHONY: all build test check bench tables faults perf-baseline perf-smoke clean
+.PHONY: all build test check bench tables faults perf-baseline perf-smoke \
+	jobs-check clean
 
 all: build
 
@@ -38,10 +39,20 @@ perf-baseline:
 # are deterministic and gate at a tight ratio; wall times only gate on
 # an order-of-magnitude blowup (--max-ratio 20) because the baseline
 # was recorded on different hardware.
-perf-smoke:
+perf-smoke: jobs-check
 	dune exec bin/paredown.exe -- perf record -o perf-snapshot.json --repeats 3
 	dune exec bin/paredown.exe -- perf compare bench/baseline.json perf-snapshot.json \
 	  --max-ratio 20 --min-ms 5
+
+# The --jobs determinism gate: a 2-domain sweep must print byte-for-byte
+# what the sequential one prints.  PAREDOWN_STABLE_TIMES masks the wall
+# clock readings — the one legitimately nondeterministic output (see
+# doc/performance.md).
+jobs-check:
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- scale --jobs 1 > scale-j1.txt
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- scale --jobs 2 > scale-j2.txt
+	diff scale-j1.txt scale-j2.txt
+	rm -f scale-j1.txt scale-j2.txt
 
 clean:
 	dune clean

@@ -2,6 +2,7 @@
    then measures the code paths behind each one with Bechamel.
 
    Structure (one Test.make per table / claim):
+     kernel/*    — Dense-view cut/convexity primitives vs the Cut reference
      table1/*    — the 15 library designs (PareDown + exhaustive)
      table2/*    — random designs of the paper's bucket sizes
      scale/*     — the §5.2 465-inner-node claim
@@ -71,6 +72,40 @@ let library_networks =
 
 let small_library_networks =
   List.filter (fun g -> Graph.inner_count g <= 8) library_networks
+
+let kernel_tests =
+  (* Dense-view primitives against their Cut reference twins: the gap
+     between each pair is the win the search inner loops inherit. *)
+  let g = random_design ~seed:100 ~inner:100 in
+  let members =
+    Graph.partitionable_nodes g
+    |> List.filteri (fun i _ -> i mod 2 = 0)
+    |> Netlist.Node_id.set_of_list
+  in
+  let d = Netlist.Dense.of_graph g in
+  let s = Netlist.Dense.set_of_ids d members in
+  ignore (Netlist.Dense.is_convex d s) (* force the reachability tables *);
+  let some_member = Netlist.Node_id.Set.min_elt members in
+  let some_idx = Netlist.Dense.index d some_member in
+  Test.make_grouped ~name:"kernel"
+    [
+      Test.make ~name:"dense-of-graph"
+        (Staged.stage (fun () -> Netlist.Dense.of_graph g));
+      Test.make ~name:"dense-pins-used"
+        (Staged.stage (fun () -> Netlist.Dense.pins_used d s));
+      Test.make ~name:"cut-io-used"
+        (Staged.stage (fun () -> Netlist.Cut.io_used g members));
+      Test.make ~name:"dense-is-convex"
+        (Staged.stage (fun () -> Netlist.Dense.is_convex d s));
+      Test.make ~name:"cut-is-convex"
+        (Staged.stage (fun () -> Netlist.Cut.is_convex g members));
+      Test.make ~name:"dense-removal-delta"
+        (Staged.stage (fun () -> Netlist.Dense.removal_delta d s some_idx));
+      Test.make ~name:"dense-nets"
+        (Staged.stage (fun () ->
+             ( Netlist.Dense.inputs_used_nets d s,
+               Netlist.Dense.outputs_used_nets d s )));
+    ]
 
 let table1_tests =
   Test.make_grouped ~name:"table1"
@@ -273,7 +308,7 @@ let parse_tests =
 let all_tests =
   Test.make_grouped ~name:"paredown"
     [
-      table1_tests; table2_tests; scale_tests; worstcase_tests;
+      kernel_tests; table1_tests; table2_tests; scale_tests; worstcase_tests;
       ablation_tests; codegen_tests; sim_tests; fault_tests; power_tests;
       obs_tests; parse_tests;
     ]

@@ -39,7 +39,7 @@ let run_table1 cutoff csv_out () =
     (fun path -> write_csv path (Experiments.Table1.to_csv rows))
     csv_out
 
-let run_table2 seed scale_counts cutoff csv_out () =
+let run_table2 seed scale_counts cutoff jobs csv_out () =
   print_header "Table 2: randomly generated designs";
   in_metrics_scope @@ fun () ->
   let base = Experiments.Table2.default_config in
@@ -52,20 +52,20 @@ let run_table2 seed scale_counts cutoff csv_out () =
   let config =
     { base with Experiments.Table2.seed; sizes; exhaustive_cutoff = cutoff }
   in
-  let buckets = Experiments.Table2.run ~config () in
+  let buckets = Experiments.Table2.run ~config ~jobs () in
   print_string (Experiments.Table2.to_table buckets);
   Option.iter
     (fun path -> write_csv path (Experiments.Table2.to_csv buckets))
     csv_out
 
-let run_scale () =
+let run_scale jobs () =
   print_header "Scalability (§5.2): PareDown on large random designs";
   let (per_run_exact, measured_total), entries =
     Obs.Metrics.with_scope (fun () ->
         print_string
-          (Experiments.Scale.to_table (Experiments.Scale.run_random ()));
+          (Experiments.Scale.to_table (Experiments.Scale.run_random ~jobs ()));
         print_header "Worst-case family (§4.2): fit checks = n(n+1)/2";
-        let worst = Experiments.Scale.run_worst_case () in
+        let worst = Experiments.Scale.run_worst_case ~jobs () in
         print_string (Experiments.Scale.to_table worst);
         ( List.for_all
             (fun p ->
@@ -125,6 +125,15 @@ let run_faults seed trials csv_out () =
     (fun path -> write_csv path (Experiments.Faults.to_csv rows))
     csv_out
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep (default 1 = sequential).  Any value \
+     produces byte-identical tables and counters; only wall-clock \
+     readings differ (mask those with PAREDOWN_STABLE_TIMES=1 to diff \
+     runs)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let cutoff_arg default =
   let doc = "Largest inner-block count attempted exhaustively." in
   Arg.(value & opt int default & info [ "exhaustive-cutoff" ] ~doc)
@@ -151,15 +160,16 @@ let table2_cmd =
   in
   let term =
     Term.(
-      const (fun seed scale cutoff csv -> run_table2 seed scale cutoff csv ())
-      $ seed_arg 2005 $ scale_arg $ cutoff_arg 11 $ out_arg)
+      const (fun seed scale cutoff jobs csv ->
+          run_table2 seed scale cutoff jobs csv ())
+      $ seed_arg 2005 $ scale_arg $ cutoff_arg 11 $ jobs_arg $ out_arg)
   in
   Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2.") term
 
 let scale_cmd =
   Cmd.v
     (Cmd.info "scale" ~doc:"Regenerate the scalability and worst-case claims.")
-    Term.(const run_scale $ const ())
+    Term.(const run_scale $ jobs_arg $ const ())
 
 let ablation_cmd =
   let count_arg =
@@ -209,14 +219,14 @@ let faults_cmd =
 let all_cmd =
   let term =
     Term.(
-      const (fun () ->
+      const (fun jobs () ->
           run_table1 11 None ();
-          run_table2 2005 1.0 11 None ();
-          run_scale ();
+          run_table2 2005 1.0 11 jobs None ();
+          run_scale jobs ();
           run_ablation 7 50 20 ();
           run_power 23 200 ();
           run_faults 11 10 None ())
-      $ const ())
+      $ jobs_arg $ const ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") term
 

@@ -1,5 +1,6 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
+module Dense = Netlist.Dense
 
 let m_runs = Obs.Metrics.counter "core.exhaustive.runs" ~doc:"searches performed"
 let m_nodes =
@@ -43,32 +44,20 @@ type result = {
 
 exception Deadline
 
-(* A complete assignment is valid iff every bin forms a valid partition;
-   bins get the cheapest shape that fits. *)
-let solution_of_bins ~config g bins =
-  let make_partition members =
-    let inputs_used =
-      Partition.inputs_used ~config:config.partition_config g members
-    in
-    let outputs_used =
-      Partition.outputs_used ~config:config.partition_config g members
-    in
-    match Shape.cheapest_fitting config.shapes ~inputs_used ~outputs_used with
-    | None -> None
-    | Some shape ->
-      let p = Partition.make ~members ~shape in
-      if Partition.is_valid ~config:config.partition_config g p
-      then Some p
-      else None
-  in
-  let rec build acc = function
-    | [] -> Some { Solution.partitions = List.rev acc }
-    | members :: rest ->
-      (match make_partition members with
-       | Some p -> build (p :: acc) rest
-       | None -> None)
-  in
-  build [] bins
+(* A bin over the compiled {!Dense} view.  [ins]/[outs] are maintained
+   incrementally under per-edge pin counting (an O(degree) delta per
+   add/remove), so leaf validation never recounts a cut from scratch.
+   The candidates accepted are exactly those [Partition.is_valid] accepts
+   — bin members come from [partitionable_nodes], so eligibility always
+   holds and validity reduces to: at least two members, some shape fits,
+   and (when required) convexity.  [Partition.check] remains the
+   reference oracle; tests compare the two. *)
+type bin = {
+  set : Dense.set;
+  mutable card : int;
+  mutable ins : int;
+  mutable outs : int;
+}
 
 let run ?(config = default_config) ?deadline_s g =
   Obs.Trace.with_span "exhaustive.run"
@@ -76,6 +65,8 @@ let run ?(config = default_config) ?deadline_s g =
   @@ fun () ->
   let blocks = Array.of_list (Graph.partitionable_nodes g) in
   let n = Array.length blocks in
+  let d = Dense.of_graph g in
+  let block_idx = Array.map (Dense.index d) blocks in
   (* Inner blocks that can never be covered (e.g. communication blocks)
      appear in every solution's total (and cost). *)
   let fixed_inner = Graph.inner_count g - n in
@@ -104,27 +95,77 @@ let run ?(config = default_config) ?deadline_s g =
   let best_total = ref (Solution.total_inner_after g Solution.empty) in
   let best_cost = ref (Solution.total_cost_after g Solution.empty) in
   let timed_out = ref false in
-  (* bins.(b) is the member set of bin b, for b < bins_open *)
-  let bins = Array.make (max 1 (n / 2)) Node_id.Set.empty in
+  (* bins.(b) holds the members of bin b, for b < bins_open *)
+  let bins =
+    Array.init (max 1 (n / 2)) (fun _ ->
+        { set = Dense.empty_set d; card = 0; ins = 0; outs = 0 })
+  in
   let max_bins = Array.length bins in
+  let bin_add bin i =
+    let d_in, d_out = Dense.addition_delta d bin.set i in
+    Dense.add bin.set i;
+    bin.card <- bin.card + 1;
+    bin.ins <- bin.ins + d_in;
+    bin.outs <- bin.outs + d_out
+  in
+  let bin_remove bin i =
+    let d_in, d_out = Dense.removal_delta d bin.set i in
+    Dense.remove bin.set i;
+    bin.card <- bin.card - 1;
+    bin.ins <- bin.ins + d_in;
+    bin.outs <- bin.outs + d_out
+  in
+  (* The maintained counts are the per-edge cut sizes; the ablation-only
+     net counting recomputes at the leaf (its deltas do not decompose
+     per edge). *)
+  let bin_pins bin =
+    match config.partition_config.Partition.pin_counting with
+    | Partition.Per_edge -> (bin.ins, bin.outs)
+    | Partition.Per_net ->
+      ( Dense.inputs_used_nets d bin.set,
+        Dense.outputs_used_nets d bin.set )
+  in
+  let bin_shape bin =
+    let inputs_used, outputs_used = bin_pins bin in
+    Shape.cheapest_fitting config.shapes ~inputs_used ~outputs_used
+  in
+  let bin_valid bin =
+    bin.card >= 2
+    && bin_shape bin <> None
+    && ((not config.partition_config.Partition.require_convex)
+        || Dense.is_convex d bin.set)
+  in
   let check_deadline () =
     match deadline_s with
     | Some budget when !nodes_explored land 1023 = 0 ->
       if Obs.Clock.elapsed_s start > budget then raise Deadline
     | Some _ | None -> ()
   in
+  let rec all_bins_valid b bins_open =
+    b = bins_open || (bin_valid bins.(b) && all_bins_valid (b + 1) bins_open)
+  in
   let consider_leaf bins_open unassigned =
     incr leaves_checked;
-    let bin_sets = Array.to_list (Array.sub bins 0 bins_open) in
-    match solution_of_bins ~config g bin_sets with
-    | None -> ()
-    | Some sol ->
-      ignore unassigned;
+    ignore unassigned;
+    if all_bins_valid 0 bins_open then begin
+      (* Only now pay for materialising the solution. *)
+      let partitions =
+        List.init bins_open (fun b ->
+            let bin = bins.(b) in
+            let shape =
+              match bin_shape bin with
+              | Some s -> s
+              | None -> assert false (* bin_valid just succeeded *)
+            in
+            Partition.make ~members:(Dense.ids_of_set d bin.set) ~shape)
+      in
+      let sol = { Solution.partitions } in
       if compare_solutions sol !best < 0 then begin
         best := sol;
         best_total := Solution.total_inner_after g sol;
         best_cost := Solution.total_cost_after g sol
       end
+    end
   in
   (* [unassigned_cost] tracks the summed catalogue cost of blocks left
      pre-defined so far; a branch's final cost is at least
@@ -145,22 +186,22 @@ let run ?(config = default_config) ?deadline_s g =
     if prunable bins_open unassigned unassigned_cost then ()
     else if i = n then consider_leaf bins_open unassigned
     else begin
-      let block = blocks.(i) in
+      let idx = block_idx.(i) in
       (* Choice 1: leave the block pre-defined. *)
       assign (i + 1) bins_open (unassigned + 1)
-        (unassigned_cost +. block_cost block);
+        (unassigned_cost +. block_cost blocks.(i));
       (* Choice 2: join an open bin. *)
       for b = 0 to bins_open - 1 do
-        bins.(b) <- Node_id.Set.add block bins.(b);
+        bin_add bins.(b) idx;
         assign (i + 1) bins_open unassigned unassigned_cost;
-        bins.(b) <- Node_id.Set.remove block bins.(b)
+        bin_remove bins.(b) idx
       done;
       (* Choice 3: open the next bin (empty bins are interchangeable, so
          only the first empty one is tried — the paper's pruning). *)
       if bins_open < max_bins then begin
-        bins.(bins_open) <- Node_id.Set.singleton block;
+        bin_add bins.(bins_open) idx;
         assign (i + 1) (bins_open + 1) unassigned unassigned_cost;
-        bins.(bins_open) <- Node_id.Set.empty
+        bin_remove bins.(bins_open) idx
       end
     end
   in

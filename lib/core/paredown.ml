@@ -1,5 +1,6 @@
 module Graph = Netlist.Graph
 module Node_id = Netlist.Node_id
+module Dense = Netlist.Dense
 
 let m_runs = Obs.Metrics.counter "core.paredown.runs" ~doc:"decompositions performed"
 let m_candidates =
@@ -80,7 +81,8 @@ type result = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Candidate state with incremental per-edge pin accounting.
+(* Candidate state over the compiled Dense view, with incremental
+   per-edge pin accounting.
 
    All quantities PareDown consults per step are O(degree):
 
@@ -93,79 +95,70 @@ type result = {
    exercised on small designs). *)
 
 type candidate = {
-  g : Graph.t;
+  d : Dense.t;
   config : config;
-  mutable members : Node_id.Set.t;
-  mutable inputs_used : int;   (* meaningful for Per_edge counting *)
+  members : Dense.set;
+  mutable card : int;
+  mutable inputs_used : int;
   mutable outputs_used : int;
 }
 
 let recount cand =
-  cand.inputs_used <-
-    Partition.inputs_used ~config:cand.config.partition_config cand.g
-      cand.members;
-  cand.outputs_used <-
-    Partition.outputs_used ~config:cand.config.partition_config cand.g
-      cand.members
+  let ins, outs =
+    match cand.config.partition_config.Partition.pin_counting with
+    | Partition.Per_edge -> Dense.pins_used cand.d cand.members
+    | Partition.Per_net ->
+      ( Dense.inputs_used_nets cand.d cand.members,
+        Dense.outputs_used_nets cand.d cand.members )
+  in
+  cand.inputs_used <- ins;
+  cand.outputs_used <- outs
 
-let candidate_of_set ~config g set =
+let candidate_of_set ~config d set =
+  let members = Dense.set_of_ids d set in
   let cand =
-    { g; config; members = set; inputs_used = 0; outputs_used = 0 }
+    {
+      d;
+      config;
+      members;
+      card = Node_id.Set.cardinal set;
+      inputs_used = 0;
+      outputs_used = 0;
+    }
   in
   recount cand;
   cand
 
-let is_member cand id = Node_id.Set.mem id cand.members
-
-(* (delta_inputs, delta_outputs) of removing [b]; per-edge counting. *)
-let removal_delta cand b =
-  let d_in = ref 0 and d_out = ref 0 in
-  List.iter
-    (fun e ->
-      if is_member cand e.Graph.src.Graph.node
-      then incr d_out   (* internal edge becomes an output pin *)
-      else decr d_in)   (* this input pin disappears *)
-    (Graph.fanin cand.g b);
-  List.iter
-    (fun e ->
-      if is_member cand e.Graph.dst.Graph.node
-      then incr d_in    (* internal edge becomes an input pin *)
-      else decr d_out)  (* this output pin disappears *)
-    (Graph.fanout cand.g b);
-  (!d_in, !d_out)
-
+(* rank of member [b] (compact index); per-edge counting is the O(degree)
+   removal delta, per-net counting recomputes around a temporary flip. *)
 let candidate_rank cand b =
   match cand.config.partition_config.Partition.pin_counting with
   | Partition.Per_edge ->
-    let d_in, d_out = removal_delta cand b in
+    let d_in, d_out = Dense.removal_delta cand.d cand.members b in
     d_in + d_out
   | Partition.Per_net ->
-    let without = Node_id.Set.remove b cand.members in
-    Partition.io_used ~config:cand.config.partition_config cand.g without
-    - Partition.io_used ~config:cand.config.partition_config cand.g
-        cand.members
+    let before = cand.inputs_used + cand.outputs_used in
+    Dense.remove cand.members b;
+    let without =
+      Dense.inputs_used_nets cand.d cand.members
+      + Dense.outputs_used_nets cand.d cand.members
+    in
+    Dense.add cand.members b;
+    without - before
 
 let candidate_remove cand b =
   (match cand.config.partition_config.Partition.pin_counting with
    | Partition.Per_edge ->
-     let d_in, d_out = removal_delta cand b in
-     cand.members <- Node_id.Set.remove b cand.members;
+     let d_in, d_out = Dense.removal_delta cand.d cand.members b in
+     Dense.remove cand.members b;
      cand.inputs_used <- cand.inputs_used + d_in;
      cand.outputs_used <- cand.outputs_used + d_out
    | Partition.Per_net ->
-     cand.members <- Node_id.Set.remove b cand.members;
-     recount cand)
+     Dense.remove cand.members b;
+     recount cand);
+  cand.card <- cand.card - 1
 
-let candidate_is_border cand b =
-  let all_inputs_outside =
-    List.for_all
-      (fun e -> not (is_member cand e.Graph.src.Graph.node))
-      (Graph.fanin cand.g b)
-  in
-  all_inputs_outside
-  || List.for_all
-       (fun e -> not (is_member cand e.Graph.dst.Graph.node))
-       (Graph.fanout cand.g b)
+let candidate_is_border cand b = Dense.is_border cand.d cand.members b
 
 let candidate_fits cand =
   let pins_ok =
@@ -177,7 +170,7 @@ let candidate_fits cand =
   in
   pins_ok
   && ((not cand.config.partition_config.Partition.require_convex)
-      || Netlist.Cut.is_convex cand.g cand.members)
+      || Dense.is_convex cand.d cand.members)
 
 let chosen_shape cand =
   Shape.cheapest_fitting cand.config.shapes ~inputs_used:cand.inputs_used
@@ -187,7 +180,8 @@ let chosen_shape cand =
 (* Removal choice.                                                     *)
 
 (* Tie-break key among equally-ranked border blocks: the smaller key is
-   removed first. *)
+   removed first.  The key depends only on the graph (not on the
+   candidate), so [run] precomputes one per node. *)
 let tie_key ~config ~levels g id =
   let level id =
     match Node_id.Map.find_opt id levels with Some l -> l | None -> 0
@@ -201,41 +195,45 @@ let tie_key ~config ~levels g id =
     config.tie_breaks
   @ [ -id ]
 
-let border_ranks_of cand =
-  Node_id.Set.fold
-    (fun id acc ->
-      if candidate_is_border cand id then (id, candidate_rank cand id) :: acc
-      else acc)
-    cand.members []
-  |> List.rev
+let tie_keys ~config ~levels g d =
+  Array.init (Dense.length d) (fun i ->
+      tie_key ~config ~levels g (Dense.node_id d i))
 
-let choose_victim ~levels cand =
-  let config = cand.config in
+let border_ranks_of cand =
+  let acc = ref [] in
+  Dense.iter_members cand.members (fun i ->
+      if candidate_is_border cand i then
+        acc := (Dense.node_id cand.d i, candidate_rank cand i) :: !acc);
+  List.rev !acc
+
+let choose_victim ~keys cand =
   let best = ref None in
-  Node_id.Set.iter
-    (fun id ->
-      if candidate_is_border cand id then begin
-        let rank = candidate_rank cand id in
-        let key = (rank, tie_key ~config ~levels cand.g id) in
+  Dense.iter_members cand.members (fun i ->
+      if candidate_is_border cand i then begin
+        let rank = candidate_rank cand i in
+        let key = (rank, keys.(i)) in
         match !best with
         | Some (_, _, best_key) when compare key best_key >= 0 -> ()
-        | Some _ | None -> best := Some (id, rank, key)
-      end)
-    cand.members;
-  Option.map (fun (id, rank, _) -> (id, rank)) !best
+        | Some _ | None -> best := Some (i, rank, key)
+      end);
+  Option.map (fun (i, rank, _) -> (i, rank)) !best
 
 (* ------------------------------------------------------------------ *)
 (* Public one-off helpers (tests, walkthroughs).                       *)
 
 let rank ?(config = default_config) g candidate b =
-  candidate_rank (candidate_of_set ~config g candidate) b
+  let d = Dense.of_graph g in
+  candidate_rank (candidate_of_set ~config d candidate) (Dense.index d b)
 
 let removal_choice ?(config = default_config) g candidate =
   if Node_id.Set.is_empty candidate then None
   else
+    let d = Dense.of_graph g in
     let levels = Graph.levels g in
-    Option.map fst
-      (choose_victim ~levels (candidate_of_set ~config g candidate))
+    let keys = tie_keys ~config ~levels g d in
+    Option.map
+      (fun (i, _) -> Dense.node_id d i)
+      (choose_victim ~keys (candidate_of_set ~config d candidate))
 
 (* ------------------------------------------------------------------ *)
 (* The decomposition method (Figure 4).                                *)
@@ -246,6 +244,8 @@ let run ?(config = default_config) ?(record_trace = false) g =
   @@ fun () ->
   let t0 = Obs.Clock.now_ns () in
   let levels = Graph.levels g in
+  let d = Dense.of_graph g in
+  let keys = tie_keys ~config ~levels g d in
   let trace = ref [] in
   (* Trace payloads (border ranks in particular) are costly to build, so
      they are only computed when tracing is on. *)
@@ -260,7 +260,7 @@ let run ?(config = default_config) ?(record_trace = false) g =
   let rec pare blocks cand partitions =
     incr fit_checks;
     if candidate_fits cand then begin
-      match Node_id.Set.cardinal cand.members with
+      match cand.card with
       | 0 ->
         (* Only reachable by paring a lone unplaceable block down to
            nothing. *)
@@ -268,33 +268,35 @@ let run ?(config = default_config) ?(record_trace = false) g =
          | Stop_everything -> None
          | Skip_block -> Some (blocks, partitions))
       | 1 ->
-        let id = Node_id.Set.choose cand.members in
+        let members = Dense.ids_of_set d cand.members in
+        let id = Node_id.Set.choose members in
         emit (fun () -> Left_single id);
-        Some (Node_id.Set.diff blocks cand.members, partitions)
+        Some (Node_id.Set.diff blocks members, partitions)
       | _ ->
         let shape =
           match chosen_shape cand with
           | Some s -> s
           | None -> assert false (* candidate_fits just succeeded *)
         in
-        let members = cand.members in
+        let members = Dense.ids_of_set d cand.members in
         emit (fun () -> Accepted (members, shape));
         let partition = Partition.make ~members ~shape in
         Some (Node_id.Set.diff blocks members, partition :: partitions)
     end
     else begin
       emit (fun () -> Ranked (border_ranks_of cand));
-      match choose_victim ~levels cand with
+      match choose_victim ~keys cand with
       | None -> Some (blocks, partitions)  (* defensive; not reachable *)
       | Some (victim, victim_rank) ->
         incr removals;
-        emit (fun () -> Removed (victim, victim_rank));
+        let victim_id = Dense.node_id d victim in
+        emit (fun () -> Removed (victim_id, victim_rank));
         candidate_remove cand victim;
         let blocks =
-          if Node_id.Set.is_empty cand.members then begin
+          if cand.card = 0 then begin
             (* The victim could not fit even alone. *)
-            emit (fun () -> Unplaceable victim);
-            Node_id.Set.remove victim blocks
+            emit (fun () -> Unplaceable victim_id);
+            Node_id.Set.remove victim_id blocks
           end
           else blocks
         in
@@ -306,7 +308,7 @@ let run ?(config = default_config) ?(record_trace = false) g =
     else begin
       incr outer;
       emit (fun () -> Candidate_started blocks);
-      let cand = candidate_of_set ~config g blocks in
+      let cand = candidate_of_set ~config d blocks in
       match pare blocks cand partitions with
       | None -> partitions
       | Some (blocks', partitions') -> main blocks' partitions'

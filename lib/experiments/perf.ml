@@ -52,8 +52,33 @@ let merged_source =
     (Behavior.Ast.program_to_string
        (Lazy.force podium_plan).Codegen.Plan.program)
 
+let g100_dense = lazy (Netlist.Dense.of_graph (Lazy.force g100))
+
+let g100_half =
+  lazy
+    (let g = Lazy.force g100 in
+     let d = Lazy.force g100_dense in
+     let part = Graph.partitionable_nodes g in
+     let half = List.filteri (fun i _ -> i mod 2 = 0) part in
+     Netlist.Dense.set_of_ids d (Netlist.Node_id.set_of_list half))
+
 let groups =
   [
+    { name = "kernel";
+      doc = "Dense cut/convexity queries on a 100-inner design";
+      run =
+        (fun () ->
+          let d = Lazy.force g100_dense in
+          let s = Lazy.force g100_half in
+          for _ = 1 to 1000 do
+            keep (Netlist.Dense.pins_used d s);
+            keep (Netlist.Dense.is_convex d s)
+          done) };
+    { name = "exhaustive";
+      doc = "Exhaustive bin-assignment search on a 10-inner random design";
+      run =
+        (fun () ->
+          keep (Core.Exhaustive.run (Lazy.force g10)).Core.Exhaustive.solution) };
     { name = "table1"; doc = "PareDown over the 15 library designs";
       run =
         (fun () ->

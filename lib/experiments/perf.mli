@@ -8,8 +8,9 @@
 
 type group = {
   name : string;
-      (** bench group this mirrors: table1, table2, scale, worstcase,
-          ablation, codegen, sim, faults, power, frontend *)
+      (** bench group this mirrors: kernel, exhaustive, table1, table2,
+          scale, worstcase, ablation, codegen, sim, faults, power,
+          frontend *)
   doc : string;
   run : unit -> unit;
 }

@@ -23,15 +23,18 @@ let measure ?expected g =
     prog = Core.Solution.programmable_count sol;
   }
 
-let run_random ?(seed = 465) ?(sizes = [ 50; 100; 200; 465 ]) () =
+let run_random ?(seed = 465) ?(sizes = [ 50; 100; 200; 465 ]) ?(jobs = 1) () =
   let rng = Prng.create seed in
-  List.map
-    (fun inner ->
-      measure (Randgen.Generator.generate ~rng:(Prng.split rng) ~inner ()))
-    sizes
+  (* Pre-split with the same [List.map] shape the sequential code used,
+     so size -> generator pairing is identical for every [jobs]. *)
+  let tagged = List.map (fun inner -> (inner, Prng.split rng)) sizes in
+  Parallel.map ~jobs
+    (fun (inner, rng) ->
+      measure (Randgen.Generator.generate ~rng ~inner ()))
+    tagged
 
-let run_worst_case ?(sizes = [ 10; 20; 40; 80 ]) () =
-  List.map
+let run_worst_case ?(sizes = [ 10; 20; 40; 80 ]) ?(jobs = 1) () =
+  Parallel.map ~jobs
     (fun inner ->
       measure ~expected:closed_form (Randgen.Generator.worst_case ~inner))
     sizes

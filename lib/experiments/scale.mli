@@ -16,11 +16,11 @@ val closed_form : int -> int
 (** [closed_form n] = n·(n+1)/2, the §4.2 worst-case fit-check count. *)
 
 val run_random :
-  ?seed:int -> ?sizes:int list -> unit -> point list
+  ?seed:int -> ?sizes:int list -> ?jobs:int -> unit -> point list
 (** PareDown on one random design per size; default sizes
     [50; 100; 200; 465].  [expected_fit_checks] is [None]. *)
 
-val run_worst_case : ?sizes:int list -> unit -> point list
+val run_worst_case : ?sizes:int list -> ?jobs:int -> unit -> point list
 (** PareDown on the worst-case family; [fit_checks] equals n·(n+1)/2
     exactly (candidate k performs k fit tests before isolating a single
     block).  Each point carries the closed form so callers — the

@@ -76,14 +76,20 @@ let measure ~config g =
     s_exh;
   }
 
-let run_bucket ?(config = default_config) ~rng ~inner ~count () =
+let run_bucket ?(config = default_config) ?(jobs = 1) ~rng ~inner ~count () =
+  (* All randomness is derived up front — one [Prng.split] per sample,
+     by the same [List.init] the sequential code used — so the
+     sample-index -> generator pairing (and with it every table value)
+     is identical for every [jobs].  See the {!Parallel} contract. *)
+  let rngs = List.init count (fun _ -> Prng.split rng) in
   let samples =
-    List.init count (fun _ ->
+    Parallel.map ~jobs
+      (fun rng ->
         let g =
-          Randgen.Generator.generate ~profile:config.profile
-            ~rng:(Prng.split rng) ~inner ()
+          Randgen.Generator.generate ~profile:config.profile ~rng ~inner ()
         in
         measure ~config g)
+      rngs
   in
   let with_exh = List.filter (fun s -> s.s_exh <> None) samples in
   let exh_field f =
@@ -138,10 +144,10 @@ let run_bucket ?(config = default_config) ~rng ~inner ~count () =
     percent_overhead;
   }
 
-let run ?(config = default_config) () =
+let run ?(config = default_config) ?(jobs = 1) () =
   let rng = Prng.create config.seed in
   List.map
-    (fun (inner, count) -> run_bucket ~config ~rng ~inner ~count ())
+    (fun (inner, count) -> run_bucket ~config ~jobs ~rng ~inner ~count ())
     config.sizes
 
 let headers =

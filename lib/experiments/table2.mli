@@ -40,9 +40,14 @@ val paper_sizes : (int * int) list
 (** The paper's buckets and design counts (9 319 designs total). *)
 
 val run_bucket :
-  ?config:config -> rng:Prng.t -> inner:int -> count:int -> unit -> bucket
+  ?config:config -> ?jobs:int -> rng:Prng.t -> inner:int -> count:int ->
+  unit -> bucket
 
-val run : ?config:config -> unit -> bucket list
+val run : ?config:config -> ?jobs:int -> unit -> bucket list
+(** [jobs] (default 1) fans samples out over that many domains via
+    {!Parallel.map}; every sample's generator is pre-split in sequential
+    order, so the table is byte-identical for every [jobs] (the time
+    columns excepted — mask them with [PAREDOWN_STABLE_TIMES] to diff). *)
 
 val to_table : bucket list -> string
 val to_csv : bucket list -> string

@@ -8,7 +8,7 @@ let in_edges g set =
       in
       List.rev_append entering acc)
     set []
-  |> List.sort compare
+  |> List.sort Graph.compare_edge
 
 let out_edges g set =
   Node_id.Set.fold
@@ -20,11 +20,47 @@ let out_edges g set =
       in
       List.rev_append leaving acc)
     set []
-  |> List.sort compare
+  |> List.sort Graph.compare_edge
 
-let inputs_used g set = List.length (in_edges g set)
-let outputs_used g set = List.length (out_edges g set)
-let io_used g set = inputs_used g set + outputs_used g set
+(* Count-only paths: no list is built or sorted ([fanin_unordered] /
+   [fanout_unordered] expose the adjacency lists without the per-call
+   port sort that [fanin]/[fanout] pay for their ordering guarantee).
+   [io_used] makes one pass over the set counting both directions at
+   once. *)
+
+let inputs_used g set =
+  Node_id.Set.fold
+    (fun id acc ->
+      List.fold_left
+        (fun acc e ->
+          if Node_id.Set.mem e.Graph.src.Graph.node set then acc else acc + 1)
+        acc (Graph.fanin_unordered g id))
+    set 0
+
+let outputs_used g set =
+  Node_id.Set.fold
+    (fun id acc ->
+      List.fold_left
+        (fun acc e ->
+          if Node_id.Set.mem e.Graph.dst.Graph.node set then acc else acc + 1)
+        acc (Graph.fanout_unordered g id))
+    set 0
+
+let io_used g set =
+  Node_id.Set.fold
+    (fun id acc ->
+      let acc =
+        List.fold_left
+          (fun acc e ->
+            if Node_id.Set.mem e.Graph.src.Graph.node set then acc
+            else acc + 1)
+          acc (Graph.fanin_unordered g id)
+      in
+      List.fold_left
+        (fun acc e ->
+          if Node_id.Set.mem e.Graph.dst.Graph.node set then acc else acc + 1)
+        acc (Graph.fanout_unordered g id))
+    set 0
 
 let distinct_src_ports edges =
   List.map (fun e -> e.Graph.src) edges
@@ -37,10 +73,14 @@ let outputs_used_nets g set = distinct_src_ports (out_edges g set)
 let is_border g set id =
   let outside e_node = not (Node_id.Set.mem e_node set) in
   let all_inputs_outside =
-    List.for_all (fun e -> outside e.Graph.src.Graph.node) (Graph.fanin g id)
+    List.for_all
+      (fun e -> outside e.Graph.src.Graph.node)
+      (Graph.fanin_unordered g id)
   in
   let all_outputs_outside =
-    List.for_all (fun e -> outside e.Graph.dst.Graph.node) (Graph.fanout g id)
+    List.for_all
+      (fun e -> outside e.Graph.dst.Graph.node)
+      (Graph.fanout_unordered g id)
   in
   all_inputs_outside || all_outputs_outside
 

@@ -6,17 +6,26 @@
     Figure 5 (see DESIGN.md §2 for the derivation). *)
 
 val in_edges : Graph.t -> Node_id.Set.t -> Graph.edge list
-(** Edges whose source is outside the set and destination inside. *)
+(** Edges whose source is outside the set and destination inside,
+    sorted by {!Graph.compare_edge}. *)
 
 val out_edges : Graph.t -> Node_id.Set.t -> Graph.edge list
-(** Edges whose source is inside the set and destination outside. *)
+(** Edges whose source is inside the set and destination outside,
+    sorted by {!Graph.compare_edge}. *)
 
 val inputs_used : Graph.t -> Node_id.Set.t -> int
 val outputs_used : Graph.t -> Node_id.Set.t -> int
+(** Count-only: [inputs_used g s = List.length (in_edges g s)] (and
+    dually) without building or sorting the edge list. *)
 
 val io_used : Graph.t -> Node_id.Set.t -> int
 (** [inputs_used + outputs_used] — the paper's "combined indegree and
-    outdegree of a candidate partition". *)
+    outdegree of a candidate partition" — computed in a single pass
+    over the set.
+
+    These functions are the {e reference} pin accounting; search inner
+    loops use the compiled {!Dense} view, which is property-tested to
+    agree with them. *)
 
 val inputs_used_nets : Graph.t -> Node_id.Set.t -> int
 (** Net-based alternative (distinct external driver ports), kept for the

@@ -1,0 +1,297 @@
+(* Compiled graph view: compact indices, flat adjacency arrays, Bytes
+   bitsets.  Reference semantics live in Cut; test/test_dense.ml checks
+   agreement property-by-property. *)
+
+type set = Bytes.t
+
+type t = {
+  g : Graph.t;  (* kept for the lazy reachability build *)
+  n : int;
+  n_bytes : int;
+  ids : int array;  (* index -> node id, increasing *)
+  idx : (int, int) Hashtbl.t;  (* node id -> index *)
+  (* Edge e of node i's fanin lives at positions
+     fanin_off.(i) .. fanin_off.(i+1) - 1 of the flat arrays; the two
+     parallel arrays give the source node's index and the edge's net id
+     (one net id per distinct (source node, source port) driver). *)
+  fanin_off : int array;
+  fanin_src : int array;
+  fanin_net : int array;
+  fanout_off : int array;
+  fanout_dst : int array;
+  fanout_net : int array;
+  (* Scratch for distinct-net counting: net_mark.(net) = net_gen marks
+     "seen in the current query" without ever clearing the array. *)
+  net_mark : int array;
+  mutable net_gen : int;
+  mutable reach : Bytes.t array option;  (* lazy: forward reachability *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bitsets *)
+
+let mem s i = Char.code (Bytes.unsafe_get s (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add s i =
+  let b = i lsr 3 in
+  Bytes.unsafe_set s b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get s b) lor (1 lsl (i land 7))))
+
+let remove s i =
+  let b = i lsr 3 in
+  Bytes.unsafe_set s b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get s b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let popcount8 =
+  Array.init 256 (fun b ->
+      let rec go b = if b = 0 then 0 else (b land 1) + go (b lsr 1) in
+      go b)
+
+let cardinal s =
+  let total = ref 0 in
+  for b = 0 to Bytes.length s - 1 do
+    total := !total + popcount8.(Char.code (Bytes.unsafe_get s b))
+  done;
+  !total
+
+let iter_members s f =
+  for b = 0 to Bytes.length s - 1 do
+    let byte = Char.code (Bytes.unsafe_get s b) in
+    if byte <> 0 then
+      for bit = 0 to 7 do
+        if byte land (1 lsl bit) <> 0 then f ((b lsl 3) lor bit)
+      done
+  done
+
+let intersects a b =
+  let rec go i =
+    i < Bytes.length a
+    && (Char.code (Bytes.unsafe_get a i) land Char.code (Bytes.unsafe_get b i)
+        <> 0
+        || go (i + 1))
+  in
+  go 0
+
+let or_into dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i)
+          lor Char.code (Bytes.unsafe_get src i)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Compilation *)
+
+let of_graph g =
+  let ids = Array.of_list (Graph.node_ids g) in
+  let n = Array.length ids in
+  let idx = Hashtbl.create (2 * max 1 n) in
+  Array.iteri (fun i id -> Hashtbl.replace idx id i) ids;
+  let index_of id = Hashtbl.find idx id in
+  (* One net id per distinct (source node, source port) pair, assigned
+     in deterministic first-seen order. *)
+  let nets : (int * int, int) Hashtbl.t = Hashtbl.create (2 * max 1 n) in
+  let net_count = ref 0 in
+  let net_of (ep : Graph.endpoint) =
+    let key = (ep.Graph.node, ep.Graph.port) in
+    match Hashtbl.find_opt nets key with
+    | Some net -> net
+    | None ->
+      let net = !net_count in
+      incr net_count;
+      Hashtbl.replace nets key net;
+      net
+  in
+  let offsets degree =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + degree ids.(i)
+    done;
+    off
+  in
+  let fanin_off = offsets (Graph.in_degree g) in
+  let fanout_off = offsets (Graph.out_degree g) in
+  let total_in = fanin_off.(n) and total_out = fanout_off.(n) in
+  let fanin_src = Array.make total_in 0
+  and fanin_net = Array.make total_in 0
+  and fanout_dst = Array.make total_out 0
+  and fanout_net = Array.make total_out 0 in
+  Array.iteri
+    (fun i id ->
+      List.iteri
+        (fun k e ->
+          let p = fanin_off.(i) + k in
+          fanin_src.(p) <- index_of e.Graph.src.Graph.node;
+          fanin_net.(p) <- net_of e.Graph.src)
+        (Graph.fanin g id);
+      List.iteri
+        (fun k e ->
+          let p = fanout_off.(i) + k in
+          fanout_dst.(p) <- index_of e.Graph.dst.Graph.node;
+          fanout_net.(p) <- net_of e.Graph.src)
+        (Graph.fanout g id))
+    ids;
+  {
+    g;
+    n;
+    n_bytes = (n + 7) / 8;
+    ids;
+    idx;
+    fanin_off;
+    fanin_src;
+    fanin_net;
+    fanout_off;
+    fanout_dst;
+    fanout_net;
+    net_mark = Array.make (max 1 !net_count) 0;
+    net_gen = 0;
+    reach = None;
+  }
+
+let length t = t.n
+let index t id = Hashtbl.find t.idx id
+let node_id t i = t.ids.(i)
+let in_degree t i = t.fanin_off.(i + 1) - t.fanin_off.(i)
+let out_degree t i = t.fanout_off.(i + 1) - t.fanout_off.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Set conversions *)
+
+let empty_set t = Bytes.make t.n_bytes '\000'
+let copy_set = Bytes.copy
+let clear_set s = Bytes.fill s 0 (Bytes.length s) '\000'
+
+let set_of_ids t ids =
+  let s = empty_set t in
+  Node_id.Set.iter (fun id -> add s (index t id)) ids;
+  s
+
+let ids_of_set t s =
+  let acc = ref Node_id.Set.empty in
+  iter_members s (fun i -> acc := Node_id.Set.add t.ids.(i) !acc);
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Pin accounting *)
+
+let pins_used t s =
+  let ins = ref 0 and outs = ref 0 in
+  iter_members s (fun i ->
+      for e = t.fanin_off.(i) to t.fanin_off.(i + 1) - 1 do
+        if not (mem s t.fanin_src.(e)) then incr ins
+      done;
+      for e = t.fanout_off.(i) to t.fanout_off.(i + 1) - 1 do
+        if not (mem s t.fanout_dst.(e)) then incr outs
+      done);
+  (!ins, !outs)
+
+let inputs_used t s = fst (pins_used t s)
+let outputs_used t s = snd (pins_used t s)
+
+let io_used t s =
+  let ins, outs = pins_used t s in
+  ins + outs
+
+let removal_delta t s b =
+  let d_in = ref 0 and d_out = ref 0 in
+  for e = t.fanin_off.(b) to t.fanin_off.(b + 1) - 1 do
+    if mem s t.fanin_src.(e) then incr d_out (* internal -> output pin *)
+    else decr d_in (* this input pin disappears *)
+  done;
+  for e = t.fanout_off.(b) to t.fanout_off.(b + 1) - 1 do
+    if mem s t.fanout_dst.(e) then incr d_in (* internal -> input pin *)
+    else decr d_out (* this output pin disappears *)
+  done;
+  (!d_in, !d_out)
+
+let addition_delta t s b =
+  let d_in = ref 0 and d_out = ref 0 in
+  for e = t.fanin_off.(b) to t.fanin_off.(b + 1) - 1 do
+    if mem s t.fanin_src.(e) then decr d_out (* crossing edge internalised *)
+    else incr d_in
+  done;
+  for e = t.fanout_off.(b) to t.fanout_off.(b + 1) - 1 do
+    if mem s t.fanout_dst.(e) then decr d_in
+    else incr d_out
+  done;
+  (!d_in, !d_out)
+
+let fresh_gen t =
+  t.net_gen <- t.net_gen + 1;
+  t.net_gen
+
+let inputs_used_nets t s =
+  let gen = fresh_gen t in
+  let nets = ref 0 in
+  iter_members s (fun i ->
+      for e = t.fanin_off.(i) to t.fanin_off.(i + 1) - 1 do
+        if not (mem s t.fanin_src.(e)) then begin
+          let net = t.fanin_net.(e) in
+          if t.net_mark.(net) <> gen then begin
+            t.net_mark.(net) <- gen;
+            incr nets
+          end
+        end
+      done);
+  !nets
+
+let outputs_used_nets t s =
+  let gen = fresh_gen t in
+  let nets = ref 0 in
+  iter_members s (fun i ->
+      for e = t.fanout_off.(i) to t.fanout_off.(i + 1) - 1 do
+        if not (mem s t.fanout_dst.(e)) then begin
+          let net = t.fanout_net.(e) in
+          if t.net_mark.(net) <> gen then begin
+            t.net_mark.(net) <- gen;
+            incr nets
+          end
+        end
+      done);
+  !nets
+
+(* ------------------------------------------------------------------ *)
+(* Structure tests *)
+
+let is_border t s i =
+  let rec all_outside lo hi arr =
+    lo > hi || (not (mem s arr.(lo)) && all_outside (lo + 1) hi arr)
+  in
+  all_outside t.fanin_off.(i) (t.fanin_off.(i + 1) - 1) t.fanin_src
+  || all_outside t.fanout_off.(i) (t.fanout_off.(i + 1) - 1) t.fanout_dst
+
+(* reach.(i) = every node reachable from i by following edges forward
+   (i itself excluded unless it lies on a cycle, which topological_order
+   rules out).  Built once, in reverse topological order:
+   reach(i) = U_{i->j} ({j} U reach(j)). *)
+let reach_of t =
+  match t.reach with
+  | Some r -> r
+  | None ->
+    let r = Array.init t.n (fun _ -> Bytes.make t.n_bytes '\000') in
+    let order = Graph.topological_order t.g in
+    List.iter
+      (fun id ->
+        let i = index t id in
+        for e = t.fanout_off.(i) to t.fanout_off.(i + 1) - 1 do
+          let j = t.fanout_dst.(e) in
+          add r.(i) j;
+          or_into r.(i) r.(j)
+        done)
+      (List.rev order);
+    t.reach <- Some r;
+    r
+
+let is_convex t s =
+  let r = reach_of t in
+  let exception Reentrant in
+  try
+    iter_members s (fun i ->
+        for e = t.fanout_off.(i) to t.fanout_off.(i + 1) - 1 do
+          let j = t.fanout_dst.(e) in
+          if (not (mem s j)) && intersects r.(j) s then raise Reentrant
+        done);
+    true
+  with Reentrant -> false

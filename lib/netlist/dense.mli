@@ -1,0 +1,109 @@
+(** Compiled, allocation-free view of a {!Graph} for search inner loops.
+
+    {!Cut} answers each pin or convexity query by walking
+    [Set.Make(Int)] sets and building (and sorting) edge lists; that is
+    the right reference semantics but the wrong inner loop — PareDown
+    and the exhaustive search ask the same questions millions of times
+    per sweep.  [Dense.of_graph] compiles the graph once: node ids are
+    compacted to [0 .. length-1] (in increasing id order), fanin/fanout
+    become flat int arrays, member sets become [Bytes] bitsets, and
+    convexity uses precomputed per-node forward-reachability bitsets, so
+    every query is a tight loop over ints with no allocation.
+
+    Semantics are defined by {!Cut}: for every graph, member set and
+    node, each function here returns exactly what its [Cut] counterpart
+    returns on the corresponding {!Node_id.Set.t} (property-tested in
+    [test/test_dense.ml]).  A view holds small mutable scratch buffers,
+    so a single [t] must not be queried from several domains at once;
+    build one view per domain (they are cheap). *)
+
+type t
+(** The compiled view.  Valid as long as the source graph is not
+    rebuilt; graphs are immutable, so any structural change produces a
+    new graph that needs a new view. *)
+
+type set = Bytes.t
+(** A member bitset over compact indices; bit [i] is node
+    [node_id t i].  Mutable — the search algorithms flip bits in place
+    instead of rebuilding functional sets. *)
+
+val of_graph : Graph.t -> t
+(** Compile a view.  O(nodes + edges).  The forward-reachability tables
+    behind {!is_convex} are built lazily on the first convexity query
+    (they need an acyclic graph; every other query works on any
+    graph). *)
+
+val length : t -> int
+(** Number of nodes (all nodes, not just inner ones). *)
+
+val index : t -> Node_id.t -> int
+(** Compact index of a node id.  Raises [Not_found] for unknown ids. *)
+
+val node_id : t -> int -> Node_id.t
+(** Inverse of {!index}. *)
+
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+
+(** {1 Member bitsets} *)
+
+val empty_set : t -> set
+val copy_set : set -> set
+val clear_set : set -> unit
+
+val set_of_ids : t -> Node_id.Set.t -> set
+val ids_of_set : t -> set -> Node_id.Set.t
+
+val mem : set -> int -> bool
+val add : set -> int -> unit
+val remove : set -> int -> unit
+val cardinal : set -> int
+
+val iter_members : set -> (int -> unit) -> unit
+(** Members in increasing index order — the same order as
+    [Node_id.Set.iter], which the removal tie-breaking of PareDown
+    depends on. *)
+
+(** {1 Pin accounting (per-edge, the paper's model)} *)
+
+val pins_used : t -> set -> int * int
+(** [(inputs_used, outputs_used)] of the cut around [set], counted per
+    crossing edge, in one pass.  Agrees with
+    [Cut.inputs_used]/[Cut.outputs_used]. *)
+
+val inputs_used : t -> set -> int
+val outputs_used : t -> set -> int
+val io_used : t -> set -> int
+
+val removal_delta : t -> set -> int -> int * int
+(** [removal_delta t set b] with [b] a member: the
+    [(d_inputs, d_outputs)] change of the per-edge pin counts if [b]
+    were removed.  O(degree b). *)
+
+val addition_delta : t -> set -> int -> int * int
+(** [addition_delta t set b] with [b] outside [set]: the change if [b]
+    were added.  Exact inverse of {!removal_delta} on the grown set. *)
+
+(** {1 Pin accounting (per-net, ablation only)} *)
+
+val inputs_used_nets : t -> set -> int
+(** Distinct external driver ports feeding the set; agrees with
+    [Cut.inputs_used_nets]. *)
+
+val outputs_used_nets : t -> set -> int
+(** Distinct internal driver ports with an external sink; agrees with
+    [Cut.outputs_used_nets]. *)
+
+(** {1 Structure tests} *)
+
+val is_border : t -> set -> int -> bool
+(** Agrees with [Cut.is_border]: every input or every output of the
+    node connects outside the set. *)
+
+val is_convex : t -> set -> bool
+(** No directed path leaves the set and re-enters it.  O(crossing
+    edges × n/8) byte operations against the precomputed reachability
+    bitsets — no graph walk.  The first call on a view forces the
+    reachability tables and therefore requires an acyclic graph
+    (raises [Graph.Structural_error] otherwise, like
+    [Graph.topological_order]). *)

@@ -65,6 +65,9 @@ let add ?id ?label g descriptor =
 let edge_list map id =
   match Node_id.Map.find_opt id map with Some l -> l | None -> []
 
+let fanin_unordered g id = edge_list g.fanin_map id
+let fanout_unordered g id = edge_list g.fanout_map id
+
 let fanin g id =
   edge_list g.fanin_map id
   |> List.sort (fun e1 e2 -> Int.compare e1.dst.port e2.dst.port)

@@ -86,6 +86,12 @@ val fanin : t -> Node_id.t -> edge list
 val fanout : t -> Node_id.t -> edge list
 (** Edges leaving the node, sorted by source port then destination. *)
 
+val fanin_unordered : t -> Node_id.t -> edge list
+val fanout_unordered : t -> Node_id.t -> edge list
+(** Same edges as {!fanin}/{!fanout} in unspecified order, without the
+    per-call sort — for counting and membership loops where order does
+    not matter (see {!Cut}). *)
+
 val driver : t -> Node_id.t -> int -> endpoint option
 (** The endpoint driving a given input port, if connected. *)
 

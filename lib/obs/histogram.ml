@@ -9,7 +9,12 @@ let sub_buckets = 4
 (* 64 octaves cover every int64 nanosecond value. *)
 let n_buckets = 1 + (64 * sub_buckets)
 
+(* Each histogram carries its own mutex so observations from parallel
+   sweep workers ({!Parallel}) merge exactly.  An uncontended
+   lock/unlock is tens of nanoseconds — negligible next to the work the
+   hot paths record. *)
 type t = {
+  lock : Mutex.t;
   mutable count : int;
   mutable sum : float;
   mutable min_v : float;
@@ -18,17 +23,25 @@ type t = {
 }
 
 let create () =
-  { count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
+  { lock = Mutex.create ();
+    count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
     buckets = Array.make n_buckets 0 }
 
+let locked t f = Mutex.protect t.lock f
+
 let clear t =
+  locked t @@ fun () ->
   t.count <- 0;
   t.sum <- 0.;
   t.min_v <- infinity;
   t.max_v <- neg_infinity;
   Array.fill t.buckets 0 n_buckets 0
 
-let copy t = { t with buckets = Array.copy t.buckets }
+let copy t =
+  locked t @@ fun () ->
+  { lock = Mutex.create ();
+    count = t.count; sum = t.sum; min_v = t.min_v; max_v = t.max_v;
+    buckets = Array.copy t.buckets }
 
 let index v =
   if v < 1. then 0
@@ -44,6 +57,7 @@ let representative i =
 
 let observe t v =
   let v = if Float.is_nan v || v < 0. then 0. else v in
+  locked t @@ fun () ->
   t.count <- t.count + 1;
   t.sum <- t.sum +. v;
   if v < t.min_v then t.min_v <- v;
@@ -65,16 +79,21 @@ let time t f =
     finish ();
     Printexc.raise_with_backtrace e bt
 
-let count t = t.count
-let sum t = t.sum
-let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
-let min_value t = if t.count = 0 then 0. else t.min_v
-let max_value t = if t.count = 0 then 0. else t.max_v
+let count t = locked t (fun () -> t.count)
+let sum t = locked t (fun () -> t.sum)
+
+let mean_unlocked t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let mean t = locked t (fun () -> mean_unlocked t)
+
+let min_value_unlocked t = if t.count = 0 then 0. else t.min_v
+let max_value_unlocked t = if t.count = 0 then 0. else t.max_v
+let min_value t = locked t (fun () -> min_value_unlocked t)
+let max_value t = locked t (fun () -> max_value_unlocked t)
 
 (* p in [0, 100].  Walk the buckets to the smallest representative
    whose cumulative count reaches rank ceil(p/100 * count); clamp into
    [min, max] so the tails are exact. *)
-let percentile t p =
+let percentile_unlocked t p =
   if t.count = 0 then 0.
   else if p <= 0. then t.min_v
   else if p >= 100. then t.max_v
@@ -93,6 +112,8 @@ let percentile t p =
     if v < t.min_v then t.min_v else if v > t.max_v then t.max_v else v
   end
 
+let percentile t p = locked t (fun () -> percentile_unlocked t p)
+
 type summary = {
   s_count : int;
   s_sum : float;
@@ -104,16 +125,18 @@ type summary = {
   s_max : float;
 }
 
+(* One lock acquisition for the whole consistent reading. *)
 let summary t =
+  locked t @@ fun () ->
   {
     s_count = t.count;
     s_sum = t.sum;
-    s_mean = mean t;
-    s_min = min_value t;
-    s_p50 = percentile t 50.;
-    s_p90 = percentile t 90.;
-    s_p99 = percentile t 99.;
-    s_max = max_value t;
+    s_mean = mean_unlocked t;
+    s_min = min_value_unlocked t;
+    s_p50 = percentile_unlocked t 50.;
+    s_p90 = percentile_unlocked t 90.;
+    s_p99 = percentile_unlocked t 99.;
+    s_max = max_value_unlocked t;
   }
 
 let zero_summary = summary (create ())
@@ -121,9 +144,11 @@ let zero_summary = summary (create ())
 (* [diff ~before after]: the observations recorded in [after] but not
    in the earlier copy [before].  Bucket counts and sums subtract
    exactly; min/max are only known to bucket resolution unless [before]
-   was empty, in which case they are exact. *)
+   was empty, in which case they are exact.  Works on consistent copies
+   so the subtraction never sees a torn concurrent update. *)
 let diff ~before after =
-  if before.count = 0 then copy after
+  let before = copy before and after = copy after in
+  if before.count = 0 then after
   else begin
     let d = create () in
     d.count <- after.count - before.count;
@@ -148,6 +173,7 @@ let diff ~before after =
   end
 
 let merge a b =
+  let a = copy a and b = copy b in
   let m = create () in
   m.count <- a.count + b.count;
   m.sum <- a.sum +. b.sum;

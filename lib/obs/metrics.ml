@@ -1,13 +1,17 @@
+(* Counters and gauges are [Atomic] and histograms lock internally, so
+   instrumented code running on sweep worker domains ({!Parallel})
+   accumulates exactly: a 2-domain run reports the same totals as a
+   sequential one. *)
 type counter = {
   c_name : string;
   c_doc : string;
-  mutable count : int;
+  count : int Atomic.t;
 }
 
 type gauge = {
   g_name : string;
   g_doc : string;
-  mutable level : float;
+  level : float Atomic.t;
 }
 
 type histo = {
@@ -21,8 +25,13 @@ type metric =
   | Gauge of gauge
   | Histo of histo
 
-(* name -> metric; names are unique across all three kinds *)
+(* name -> metric; names are unique across all three kinds.  The lock
+   guards the table itself (registration, iteration); the metrics are
+   individually safe to bump without it. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f = Mutex.protect registry_lock f
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -34,31 +43,34 @@ let kind_clash fn name m =
     (Printf.sprintf "Obs.Metrics.%s: %S is a %s" fn name (kind_name m))
 
 let counter ?(doc = "") name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c
   | Some m -> kind_clash "counter" name m
   | None ->
-    let c = { c_name = name; c_doc = doc; count = 0 } in
+    let c = { c_name = name; c_doc = doc; count = Atomic.make 0 } in
     Hashtbl.add registry name (Counter c);
     c
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
+let incr c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let counter_value c = Atomic.get c.count
 
 let gauge ?(doc = "") name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Gauge g) -> g
   | Some m -> kind_clash "gauge" name m
   | None ->
-    let g = { g_name = name; g_doc = doc; level = 0. } in
+    let g = { g_name = name; g_doc = doc; level = Atomic.make 0. } in
     Hashtbl.add registry name (Gauge g);
     g
 
-let set g v = g.level <- v
-let gauge_value g = g.level
+let set g v = Atomic.set g.level v
+let gauge_value g = Atomic.get g.level
 
 let histogram ?(doc = "") name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Histo h) -> h.h_hist
   | Some m -> kind_clash "histogram" name m
@@ -79,27 +91,33 @@ type entry = {
 }
 
 let entry_of = function
-  | Counter c -> { name = c.c_name; doc = c.c_doc; value = Count c.count }
-  | Gauge g -> { name = g.g_name; doc = g.g_doc; value = Value g.level }
+  | Counter c ->
+    { name = c.c_name; doc = c.c_doc; value = Count (Atomic.get c.count) }
+  | Gauge g ->
+    { name = g.g_name; doc = g.g_doc; value = Value (Atomic.get g.level) }
   | Histo h ->
     { name = h.h_name; doc = h.h_doc;
       value = Dist (Histogram.summary h.h_hist) }
 
 let snapshot ?(prefix = "") () =
-  Hashtbl.fold
-    (fun name m acc ->
-      if String.starts_with ~prefix name then entry_of m :: acc else acc)
-    registry []
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          if String.starts_with ~prefix name then entry_of m :: acc else acc)
+        registry [])
   |> List.sort (fun a b -> String.compare a.name b.name)
 
-let find name = Option.map entry_of (Hashtbl.find_opt registry name)
+let find name =
+  with_registry @@ fun () ->
+  Option.map entry_of (Hashtbl.find_opt registry name)
 
 let reset () =
+  with_registry @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.level <- 0.
+      | Counter c -> Atomic.set c.count 0
+      | Gauge g -> Atomic.set g.level 0.
       | Histo h -> Histogram.clear h.h_hist)
     registry
 
@@ -113,37 +131,42 @@ type baseline =
 
 let with_scope f =
   let base : (string, baseline) Hashtbl.t =
-    Hashtbl.create (Hashtbl.length registry)
+    with_registry @@ fun () ->
+    let base = Hashtbl.create (Hashtbl.length registry) in
+    Hashtbl.iter
+      (fun name m ->
+        let b =
+          match m with
+          | Counter c -> B_count (Atomic.get c.count)
+          | Gauge g -> B_level (Atomic.get g.level)
+          | Histo h -> B_hist (Histogram.copy h.h_hist)
+        in
+        Hashtbl.replace base name b)
+      registry;
+    base
   in
-  Hashtbl.iter
-    (fun name m ->
-      let b =
-        match m with
-        | Counter c -> B_count c.count
-        | Gauge g -> B_level g.level
-        | Histo h -> B_hist (Histogram.copy h.h_hist)
-      in
-      Hashtbl.replace base name b)
-    registry;
   let result = f () in
   let entries =
-    Hashtbl.fold
-      (fun name m acc ->
-        let e = entry_of m in
-        let e =
-          match (m, Hashtbl.find_opt base name) with
-          | Counter c, Some (B_count before) ->
-            { e with value = Count (c.count - before) }
-          | Gauge _, Some (B_level _) -> e (* gauges are instantaneous *)
-          | Histo h, Some (B_hist before) ->
-            { e with
-              value = Dist (Histogram.summary
-                              (Histogram.diff ~before h.h_hist)) }
-          | _, None -> e (* registered inside the scope: full value *)
-          | _, Some _ -> e (* kind change is impossible (names are sticky) *)
-        in
-        e :: acc)
-      registry []
+    with_registry (fun () ->
+        Hashtbl.fold
+          (fun name m acc ->
+            let e = entry_of m in
+            let e =
+              match (m, Hashtbl.find_opt base name) with
+              | Counter c, Some (B_count before) ->
+                { e with value = Count (Atomic.get c.count - before) }
+              | Gauge _, Some (B_level _) ->
+                e (* gauges are instantaneous *)
+              | Histo h, Some (B_hist before) ->
+                { e with
+                  value = Dist (Histogram.summary
+                                  (Histogram.diff ~before h.h_hist)) }
+              | _, None -> e (* registered inside the scope: full value *)
+              | _, Some _ ->
+                e (* kind change is impossible (names are sticky) *)
+            in
+            e :: acc)
+          registry [])
     |> List.sort (fun a b -> String.compare a.name b.name)
   in
   (result, entries)
@@ -167,8 +190,19 @@ let is_zero = function
    humanised times; everything else as plain numbers. *)
 let is_time_name name = String.ends_with ~suffix:"_ns" name
 
+(* PAREDOWN_STABLE_TIMES: render every humanised time as "--" so two
+   runs of the same experiment diff byte-identically.  Everything else
+   the pipeline prints is deterministic; wall-clock readings are the
+   one exception, and the CI `--jobs 2` vs `--jobs 1` gate relies on
+   masking them.  (Same convention as {!Report.Timing}.) *)
+let stable_times =
+  match Sys.getenv_opt "PAREDOWN_STABLE_TIMES" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 let pp_quantity ~time v =
   if not time then Printf.sprintf "%g" v
+  else if stable_times then "--"
   else if v >= 1e9 then Printf.sprintf "%.2fs" (v /. 1e9)
   else if v >= 1e6 then Printf.sprintf "%.2fms" (v /. 1e6)
   else if v >= 1e3 then Printf.sprintf "%.2fus" (v /. 1e3)

@@ -1,0 +1,230 @@
+(* The Dense view's semantics are defined by Cut; these properties pin
+   the agreement on random graphs and random member subsets, then check
+   that the incremental accounting (deltas, exhaustive bin counts)
+   reproduces the from-scratch numbers and that the dense exhaustive
+   search still returns Table 1's optima. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+module Dense = Netlist.Dense
+module Cut = Netlist.Cut
+
+let check = Alcotest.check
+
+(* A random network plus a random subset of its nodes (members are
+   drawn from all nodes, not just partitionable ones: the Cut
+   functions are defined on any subset). *)
+let subset_gen =
+  QCheck.Gen.(
+    Testlib.network_gen ~max_inner:20 () >>= fun (inner, seed, g) ->
+    let ids = Array.of_list (Graph.node_ids g) in
+    int_range 0 (Array.length ids) >>= fun k ->
+    shuffle_a ids >|= fun () ->
+    let members =
+      Array.to_list (Array.sub ids 0 k) |> Node_id.set_of_list
+    in
+    (inner, seed, g, members))
+
+let subset_arbitrary =
+  QCheck.make
+    ~print:(fun (inner, seed, _, members) ->
+      Format.asprintf "inner=%d seed=%d members=%a" inner seed
+        Node_id.pp_set members)
+    subset_gen
+
+let prop name f = QCheck.Test.make ~count:200 ~name subset_arbitrary f
+
+let agreement_properties =
+  [
+    prop "pins agree with Cut" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        let ins, outs = Dense.pins_used d s in
+        ins = Cut.inputs_used g members
+        && outs = Cut.outputs_used g members
+        && Dense.inputs_used d s = ins
+        && Dense.outputs_used d s = outs
+        && Dense.io_used d s = Cut.io_used g members);
+    prop "net pins agree with Cut" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        Dense.inputs_used_nets d s = Cut.inputs_used_nets g members
+        && Dense.outputs_used_nets d s = Cut.outputs_used_nets g members);
+    prop "is_border agrees with Cut on every node" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        List.for_all
+          (fun id ->
+            Dense.is_border d s (Dense.index d id)
+            = Cut.is_border g members id)
+          (Graph.node_ids g));
+    prop "is_convex agrees with Cut" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        Dense.is_convex d s = Cut.is_convex g members);
+    prop "set round-trips through ids" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        Node_id.Set.equal (Dense.ids_of_set d s) members
+        && Dense.cardinal s = Node_id.Set.cardinal members);
+    prop "iter_members ascends like Set.iter" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        let via_dense = ref [] in
+        Dense.iter_members s (fun i ->
+            via_dense := Dense.node_id d i :: !via_dense);
+        List.rev !via_dense = Node_id.Set.elements members);
+    prop "removal_delta matches recount" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        Node_id.Set.for_all
+          (fun id ->
+            let b = Dense.index d id in
+            let d_in, d_out = Dense.removal_delta d s b in
+            let without = Node_id.Set.remove id members in
+            d_in = Cut.inputs_used g without - Cut.inputs_used g members
+            && d_out
+               = Cut.outputs_used g without - Cut.outputs_used g members)
+          members);
+    prop "addition_delta inverts removal_delta" (fun (_, _, g, members) ->
+        let d = Dense.of_graph g in
+        let s = Dense.set_of_ids d members in
+        List.for_all
+          (fun id ->
+            if Node_id.Set.mem id members then true
+            else begin
+              let b = Dense.index d id in
+              let a_in, a_out = Dense.addition_delta d s b in
+              Dense.add s b;
+              let r_in, r_out = Dense.removal_delta d s b in
+              Dense.remove s b;
+              a_in = -r_in && a_out = -r_out
+            end)
+          (Graph.node_ids g));
+  ]
+
+(* --- Exhaustive search on the dense kernel ------------------------------- *)
+
+(* Every partition the dense leaf validation accepts must also satisfy
+   the reference oracle, and the search must still find Table 1's
+   optima (the full optima table lives in test_exhaustive.ml; this is
+   the kernel-equivalence angle: oracle-valid bins + pinned work
+   counters). *)
+let test_exhaustive_matches_oracle () =
+  List.iter
+    (fun d ->
+      let g = d.Designs.Design.network in
+      if Netlist.Graph.inner_count g <= 9 then begin
+        let r = Core.Exhaustive.run g in
+        List.iter
+          (fun p ->
+            match Core.Partition.check g p with
+            | Ok () -> ()
+            | Error inv ->
+              Alcotest.failf "%s: dense search accepted %a: %a"
+                d.Designs.Design.name Node_id.pp_set
+                p.Core.Partition.members Core.Partition.pp_invalidity inv)
+          r.Core.Exhaustive.solution.Core.Solution.partitions
+      end)
+    Designs.Library.all
+
+(* The DFS control flow is untouched by the dense rewrite, so the work
+   counters are load-bearing constants: a change means the search
+   explored a different tree, not just explored it faster. *)
+let test_pinned_work_counters () =
+  let podium = Testlib.podium in
+  let r = Core.Exhaustive.run podium in
+  check Alcotest.int "podium nodes_explored" 8282
+    r.Core.Exhaustive.nodes_explored;
+  check Alcotest.int "podium leaves_checked" 3574
+    r.Core.Exhaustive.leaves_checked;
+  let g10 =
+    Randgen.Generator.generate ~rng:(Prng.create 2) ~inner:10 ()
+  in
+  let r10 = Core.Exhaustive.run g10 in
+  check Alcotest.int "g10 nodes_explored" 715970
+    r10.Core.Exhaustive.nodes_explored;
+  check Alcotest.int "g10 leaves_checked" 558310
+    r10.Core.Exhaustive.leaves_checked;
+  check Alcotest.int "g10 total" 7
+    (Core.Solution.total_inner_after g10 r10.Core.Exhaustive.solution);
+  let pd =
+    Core.Paredown.run
+      (Randgen.Generator.generate ~rng:(Prng.create 3) ~inner:20 ())
+  in
+  check
+    (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "g20 paredown (outer, fit_checks, removals)" (13, 108, 95)
+    ( pd.Core.Paredown.stats.Core.Paredown.outer_iterations,
+      pd.Core.Paredown.stats.Core.Paredown.fit_checks,
+      pd.Core.Paredown.stats.Core.Paredown.removals )
+
+(* --- Parallel sweeps ------------------------------------------------------ *)
+
+(* Parallel.map must be observationally List.map. *)
+let parallel_map_is_map =
+  QCheck.Test.make ~count:50 ~name:"Parallel.map ~jobs:3 = List.map"
+    QCheck.(list small_int)
+    (fun xs -> Parallel.map ~jobs:3 (fun x -> x * x) xs
+               = List.map (fun x -> x * x) xs)
+
+(* Domain-safe metrics: a 2-domain sweep must report exactly the same
+   deterministic counter totals as the sequential one. *)
+let test_two_domain_counters_agree () =
+  let counter_delta jobs =
+    let (), entries =
+      Obs.Metrics.with_scope (fun () ->
+          ignore (Experiments.Scale.run_random ~sizes:[ 20; 30; 40 ] ~jobs ()))
+    in
+    List.filter_map
+      (fun e ->
+        match e.Obs.Metrics.value with
+        | Obs.Metrics.Count n when n <> 0 -> Some (e.Obs.Metrics.name, n)
+        | _ -> None)
+      entries
+  in
+  let seq = counter_delta 1 and par = counter_delta 2 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "counter deltas, jobs 2 vs jobs 1" seq par;
+  check Alcotest.bool "fit_checks delta present" true
+    (List.mem_assoc "core.paredown.fit_checks" seq)
+
+let test_parallel_results_in_order () =
+  let sizes = [ 20; 25; 30; 35; 40 ] in
+  let seq = Experiments.Scale.run_random ~sizes ()
+  and par = Experiments.Scale.run_random ~sizes ~jobs:4 () in
+  check (Alcotest.list Alcotest.int) "inner order"
+    (List.map (fun p -> p.Experiments.Scale.inner) seq)
+    (List.map (fun p -> p.Experiments.Scale.inner) par);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "(fit_checks, total) per size"
+    (List.map
+       (fun p ->
+         (p.Experiments.Scale.fit_checks, p.Experiments.Scale.total))
+       seq)
+    (List.map
+       (fun p ->
+         (p.Experiments.Scale.fit_checks, p.Experiments.Scale.total))
+       par)
+
+let () =
+  Alcotest.run "dense"
+    [
+      ("cut agreement", Testlib.qtests agreement_properties);
+      ( "exhaustive kernel",
+        [
+          Alcotest.test_case "oracle-valid partitions" `Quick
+            test_exhaustive_matches_oracle;
+          Alcotest.test_case "pinned work counters" `Quick
+            test_pinned_work_counters;
+        ] );
+      ( "parallel",
+        Testlib.qtests [ parallel_map_is_map ]
+        @ [
+            Alcotest.test_case "2-domain counters agree" `Quick
+              test_two_domain_counters_agree;
+            Alcotest.test_case "results in input order" `Quick
+              test_parallel_results_in_order;
+          ] );
+    ]

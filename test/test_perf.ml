@@ -3,8 +3,8 @@
    invariant the CI smoke test relies on. *)
 
 let expected_groups =
-  [ "table1"; "table2"; "scale"; "worstcase"; "ablation"; "codegen";
-    "sim"; "faults"; "power"; "frontend" ]
+  [ "kernel"; "exhaustive"; "table1"; "table2"; "scale"; "worstcase";
+    "ablation"; "codegen"; "sim"; "faults"; "power"; "frontend" ]
 
 let test_group_inventory () =
   let names = List.map (fun g -> g.Experiments.Perf.name)
