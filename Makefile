@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml for
 # environments without Actions.
 
-.PHONY: all build test check bench tables faults perf-baseline perf-smoke \
-	jobs-check clean
+.PHONY: all build test check bench tables faults verify-fuzz perf-baseline \
+	perf-smoke jobs-check clean
 
 all: build
 
@@ -27,6 +27,17 @@ faults:
 
 bench:
 	dune exec bench/main.exe
+
+# Verification fuzzing: every partition of a batch of random designs
+# through the three-tier verifier (doc/verification.md); exits nonzero
+# on any failed verdict.  The second/third lines are the --jobs
+# determinism gate for the fuzz sweep itself.
+verify-fuzz:
+	dune exec bin/run_experiments.exe -- fuzz --seeds 30
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 30 --jobs 1 > fuzz-j1.txt
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 30 --jobs 2 > fuzz-j2.txt
+	diff fuzz-j1.txt fuzz-j2.txt
+	rm -f fuzz-j1.txt fuzz-j2.txt
 
 # Re-record the committed perf baseline (bench/baseline.json).  Run on
 # a quiet machine after any deliberate perf-relevant change and commit

@@ -228,8 +228,12 @@ let synth_cmd =
   let verify_arg =
     Arg.(value & flag
          & info [ "verify" ]
-             ~doc:"Co-simulate original and synthesised networks on random \
-                   stimuli and check the settled outputs agree.")
+             ~doc:"Verify the synthesis: co-simulate original and \
+                   synthesised networks on random stimuli, then check \
+                   every partition individually (exhaustive proof, \
+                   bounded sequential proof, or differential \
+                   co-simulation — see doc/verification.md) and print \
+                   the per-partition breakdown.")
   in
   let save_arg =
     Arg.(value & opt (some string) None
@@ -267,13 +271,21 @@ let synth_cmd =
      | None -> ());
     Option.iter (fun path -> Netlist.Dot.write_file path g') dot;
     if verify then begin
-      match
-        Sim.Equiv.check_random ~reference:g ~candidate:g' ~seed:99 ~steps:60
-      with
-      | Ok () -> print_endline "verify: settled outputs match on 60 random steps"
-      | Error m ->
-        Format.printf "verify FAILED: %a@." Sim.Equiv.pp_mismatch m;
+      (match
+         Sim.Equiv.check_random ~reference:g ~candidate:g' ~seed:99 ~steps:60
+       with
+       | Ok () ->
+         print_endline "verify: settled outputs match on 60 random steps"
+       | Error m ->
+         Format.printf "verify FAILED: %a@." Sim.Equiv.pp_mismatch m;
+         exit 1);
+      let report = Codegen.Verify.check_solution g sol in
+      Format.printf "@[<v 2>verify per partition:@,%a@]@."
+        Codegen.Verify.pp_report report;
+      if not (Codegen.Verify.ok report) then begin
+        print_endline "verify FAILED: a partition has a counterexample";
         exit 1
+      end
     end
   in
   Cmd.v

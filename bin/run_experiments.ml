@@ -1,6 +1,6 @@
 (* Regenerates every table and claim of the paper's evaluation (§5),
-   plus the fault-tolerance extension.  Subcommands: table1, table2,
-   scale, ablation, power, faults, all. *)
+   plus the fault-tolerance and verification extensions.  Subcommands:
+   table1, table2, scale, ablation, power, faults, fuzz, all. *)
 
 open Cmdliner
 
@@ -125,6 +125,25 @@ let run_faults seed trials csv_out () =
     (fun path -> write_csv path (Experiments.Faults.to_csv rows))
     csv_out
 
+let run_fuzz seed seeds jobs csv_out () =
+  print_header
+    "Verification fuzzing: three-tier Verify over random designs";
+  in_metrics_scope @@ fun () ->
+  let config = { Experiments.Fuzz.default_config with seed; seeds } in
+  let rows = Experiments.Fuzz.run ~config ~jobs () in
+  print_string (Experiments.Fuzz.to_table rows);
+  print_endline (Experiments.Fuzz.summary rows);
+  List.iter
+    (fun r ->
+      match r.Experiments.Fuzz.failure with
+      | Some f -> Printf.printf "seed %d: %s\n" r.Experiments.Fuzz.seed f
+      | None -> ())
+    rows;
+  Option.iter
+    (fun path -> write_csv path (Experiments.Fuzz.to_csv rows))
+    csv_out;
+  if Experiments.Fuzz.failed_seeds rows <> [] then exit 1
+
 let jobs_arg =
   let doc =
     "Worker domains for the sweep (default 1 = sequential).  Any value \
@@ -216,6 +235,23 @@ let faults_cmd =
              partitioned).")
     term
 
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 50
+         & info [ "seeds" ] ~doc:"Random designs to generate and verify.")
+  in
+  let term =
+    Term.(
+      const (fun seed seeds jobs csv -> run_fuzz seed seeds jobs csv ())
+      $ seed_arg 2005 $ seeds_arg $ jobs_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the three-tier merge verifier over random designs; \
+             exits nonzero on any failed verdict (a found merge bug, \
+             reported with a shrunk counterexample).")
+    term
+
 let all_cmd =
   let term =
     Term.(
@@ -225,7 +261,8 @@ let all_cmd =
           run_scale jobs ();
           run_ablation 7 50 20 ();
           run_power 23 200 ();
-          run_faults 11 10 None ())
+          run_faults 11 10 None ();
+          run_fuzz 2005 25 jobs None ())
       $ jobs_arg $ const ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") term
@@ -238,4 +275,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
                     [ table1_cmd; table2_cmd; scale_cmd; ablation_cmd;
-                      power_cmd; faults_cmd; all_cmd ]))
+                      power_cmd; faults_cmd; fuzz_cmd; all_cmd ]))

@@ -166,15 +166,11 @@ let () =
    | Error m ->
      Format.printf "MISMATCH %a@." Sim.Equiv.pp_mismatch m;
      exit 1);
-  (match Codegen.Verify.check_solution network pd.Core.Paredown.solution with
-   | Ok proven ->
-     Printf.printf
-       "enumeration: %d all-combinational partition(s) proven exactly\n"
-       proven
-   | Error (members, verdict) ->
-     Format.printf "proof failed on %a: %a@." Netlist.Node_id.pp_set members
-       Codegen.Verify.pp_verdict verdict;
-     exit 1)
+  let report =
+    Codegen.Verify.check_solution network pd.Core.Paredown.solution
+  in
+  Format.printf "%a@." Codegen.Verify.pp_report report;
+  if not (Codegen.Verify.ok report) then exit 1
 
 let () = print_endline "\n=== Power proxy ==="
 

@@ -23,6 +23,8 @@ let init (p : Ast.program) =
   List.iter (fun (name, v) -> Hashtbl.replace env name v) p.Ast.state;
   env
 
+let copy env = Hashtbl.copy env
+
 let lookup env name = Hashtbl.find_opt env name
 
 let variables env =

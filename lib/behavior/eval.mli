@@ -32,6 +32,11 @@ exception Runtime_error of string
 val init : Ast.program -> env
 (** Fresh store holding exactly the program's state variables. *)
 
+val copy : env -> env
+(** An independent clone of the store; activations of the original and
+    the copy do not affect each other.  Used by the bounded product-state
+    exploration in [Codegen.Verify]. *)
+
 val activate : Ast.program -> n_outputs:int -> env -> activation -> outcome
 (** Run the program body once.  The store is updated in place with any
     variable assignments.  Reading an input port beyond

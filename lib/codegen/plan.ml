@@ -32,13 +32,22 @@ let level_order g set =
 
 let wire_name id port = Printf.sprintf "w%d_%d" id port
 
-let index_of_endpoint what endpoints (ep : Graph.endpoint) =
-  let rec find i = function
-    | [] -> error "endpoint %d.%d not found among %s" ep.Graph.node
-              ep.Graph.port what
-    | ep' :: rest -> if ep' = ep then i else find (i + 1) rest
-  in
-  find 0 endpoints
+(* Precomputed endpoint -> index table: [build] looks an endpoint up once
+   per member input port, so the former list scan made plan construction
+   quadratic in the cut size on input-heavy partitions. *)
+let endpoint_table endpoints =
+  let table = Hashtbl.create (List.length endpoints * 2) in
+  List.iteri
+    (fun i (ep : Graph.endpoint) ->
+      if not (Hashtbl.mem table ep) then Hashtbl.add table ep i)
+    endpoints;
+  table
+
+let index_of_endpoint what table (ep : Graph.endpoint) =
+  match Hashtbl.find_opt table ep with
+  | Some i -> i
+  | None ->
+    error "endpoint %d.%d not found among %s" ep.Graph.node ep.Graph.port what
 
 let build g set =
   Obs.Trace.with_span "codegen.plan_build"
@@ -54,7 +63,7 @@ let build g set =
   let members = level_order g set in
   let in_edges = Cut.in_edges g set in
   let out_edges = Cut.out_edges g set in
-  let in_edge_dsts = List.map (fun e -> e.Graph.dst) in_edges in
+  let in_edge_dsts = endpoint_table (List.map (fun e -> e.Graph.dst) in_edges) in
   let out_edges_indexed = List.mapi (fun j e -> (j, e)) out_edges in
   let member_of_id id =
     let d = Graph.descriptor g id in

@@ -1,0 +1,137 @@
+type config = {
+  seed : int;
+  seeds : int;
+  inner_min : int;
+  inner_max : int;
+  verify : Codegen.Verify.config;
+}
+
+let default_config =
+  {
+    seed = 2005;
+    seeds = 50;
+    inner_min = 6;
+    inner_max = 16;
+    verify = Codegen.Verify.default_config;
+  }
+
+type row = {
+  seed : int;
+  inner : int;
+  partitions : int;
+  tally : Codegen.Verify.tally;
+  failure : string option;
+}
+
+let check_one (config : config) index =
+  let seed = config.seed + index in
+  let span = config.inner_max - config.inner_min + 1 in
+  let inner = config.inner_min + (index mod span) in
+  let g = Randgen.Generator.generate ~rng:(Prng.create seed) ~inner () in
+  let sol = (Core.Paredown.run g).Core.Paredown.solution in
+  let report = Codegen.Verify.check_solution ~config:config.verify g sol in
+  let failure =
+    List.find_map
+      (fun ((_ : Core.Partition.t), status) ->
+        match status with
+        | Codegen.Verify.Failed _ ->
+          Some (Format.asprintf "%a" Codegen.Verify.pp_status status)
+        | _ -> None)
+      report.Codegen.Verify.results
+  in
+  {
+    seed;
+    inner;
+    partitions = Core.Solution.programmable_count sol;
+    tally = Codegen.Verify.tally report;
+    failure;
+  }
+
+let run ?(config = default_config) ~jobs () =
+  (* every item is self-contained (seed + index only), so the Parallel
+     contract holds and any --jobs produces the same rows *)
+  Parallel.map ~jobs (check_one config) (List.init config.seeds Fun.id)
+
+let failed_seeds rows =
+  List.filter_map
+    (fun r -> if r.tally.Codegen.Verify.failed > 0 then Some r.seed else None)
+    rows
+
+let add_tally (a : Codegen.Verify.tally) (b : Codegen.Verify.tally) =
+  Codegen.Verify.
+    {
+      proven = a.proven + b.proven;
+      bounded = a.bounded + b.bounded;
+      cosim_passed = a.cosim_passed + b.cosim_passed;
+      failed = a.failed + b.failed;
+      skipped = a.skipped + b.skipped;
+    }
+
+let zero_tally =
+  Codegen.Verify.
+    { proven = 0; bounded = 0; cosim_passed = 0; failed = 0; skipped = 0 }
+
+let headers =
+  [ "Inner"; "Designs"; "Parts"; "Proven"; "Bounded"; "Cosim"; "Failed";
+    "Skipped" ]
+
+let to_table rows =
+  let sizes = List.sort_uniq Int.compare (List.map (fun r -> r.inner) rows) in
+  let cells =
+    List.map
+      (fun inner ->
+        let group = List.filter (fun r -> r.inner = inner) rows in
+        let parts = List.fold_left (fun a r -> a + r.partitions) 0 group in
+        let t = List.fold_left (fun a r -> add_tally a r.tally) zero_tally group in
+        [
+          string_of_int inner;
+          string_of_int (List.length group);
+          string_of_int parts;
+          string_of_int t.Codegen.Verify.proven;
+          string_of_int t.Codegen.Verify.bounded;
+          string_of_int t.Codegen.Verify.cosim_passed;
+          string_of_int t.Codegen.Verify.failed;
+          string_of_int t.Codegen.Verify.skipped;
+        ])
+      sizes
+  in
+  Report.Table.render ~headers ~rows:cells ()
+
+let csv_headers =
+  [ "seed"; "inner"; "partitions"; "proven"; "bounded"; "cosim_passed";
+    "failed"; "skipped"; "failure" ]
+
+let to_csv rows =
+  Report.Table.render_csv ~headers:csv_headers
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.seed;
+             string_of_int r.inner;
+             string_of_int r.partitions;
+             string_of_int r.tally.Codegen.Verify.proven;
+             string_of_int r.tally.Codegen.Verify.bounded;
+             string_of_int r.tally.Codegen.Verify.cosim_passed;
+             string_of_int r.tally.Codegen.Verify.failed;
+             string_of_int r.tally.Codegen.Verify.skipped;
+             Option.value r.failure ~default:"";
+           ])
+         rows)
+
+let summary rows =
+  let t = List.fold_left (fun a r -> add_tally a r.tally) zero_tally rows in
+  let parts = List.fold_left (fun a r -> a + r.partitions) 0 rows in
+  let base =
+    Printf.sprintf
+      "%d designs, %d partitions: %d proven, %d bounded, %d cosim-passed, \
+       %d failed, %d skipped"
+      (List.length rows) parts t.Codegen.Verify.proven
+      t.Codegen.Verify.bounded t.Codegen.Verify.cosim_passed
+      t.Codegen.Verify.failed t.Codegen.Verify.skipped
+  in
+  match failed_seeds rows with
+  | [] -> base ^ " — zero failed verdicts"
+  | seeds ->
+    Printf.sprintf "%s — FAILING SEEDS: %s" base
+      (String.concat ", " (List.map string_of_int seeds))

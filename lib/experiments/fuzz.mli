@@ -1,0 +1,48 @@
+(** Verification fuzzing: sweep Verify v2 over random designs.
+
+    Generates random eBlock designs ({!Randgen.Generator}), partitions
+    each with PareDown, and runs every partition through the three-tier
+    verifier ({!Codegen.Verify}).  Nothing is silently skipped: every
+    partition lands in exactly one tally bucket (proven / bounded /
+    cosim-passed / failed / skipped), so a single non-zero [failed]
+    column is a found merge bug with a shrunk counterexample.
+
+    Deterministic per [config.seed]: design [i] derives everything from
+    [seed + i], so runs parallelise ({!Parallel.map}) with byte-identical
+    tables at any [--jobs]. *)
+
+type config = {
+  seed : int;  (** base seed; design [i] uses [seed + i] *)
+  seeds : int;  (** number of designs to generate and verify *)
+  inner_min : int;  (** inner-block counts cycle over this range... *)
+  inner_max : int;  (** ...so one sweep covers several design sizes *)
+  verify : Codegen.Verify.config;
+}
+
+val default_config : config
+(** seed 2005, 50 designs, inner blocks cycling 6..16, default verifier
+    budgets. *)
+
+type row = {
+  seed : int;  (** the per-design seed (base + index) *)
+  inner : int;
+  partitions : int;
+  tally : Codegen.Verify.tally;
+  failure : string option;
+      (** first failing partition's rendered status, when any *)
+}
+
+val run : ?config:config -> jobs:int -> unit -> row list
+(** One row per design, in seed order regardless of [jobs]. *)
+
+val failed_seeds : row list -> int list
+(** Seeds of designs with at least one [Failed] partition. *)
+
+val to_table : row list -> string
+(** Aggregated per inner-block count (one row per size in the cycle). *)
+
+val to_csv : row list -> string
+(** Per-design rows, full detail. *)
+
+val summary : row list -> string
+(** One line: totals per bucket, plus the failing seeds when any. *)

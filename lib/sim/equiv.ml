@@ -17,7 +17,44 @@ let pp_mismatch ppf { at_time; output; reference; candidate } =
 let same_ids a b =
   List.equal Node_id.equal a b
 
-let check ~reference ~candidate script =
+(* A deterministic pseudo-random latency in 1..4 per connection.  Keyed
+   on the edge's endpoints, so the "same" perturbation applies to any
+   network — including a synthesised rewrite whose edge set differs. *)
+let jittered_delay salt (e : Graph.edge) =
+  1 + (Hashtbl.hash (salt, e.Graph.src, e.Graph.dst) land 3)
+
+type perturbation = {
+  p_label : string;
+  tie_order : Engine.tie_order;
+  delay_salt : int option;
+}
+
+let baseline = { p_label = "fifo"; tie_order = Engine.Fifo; delay_salt = None }
+
+let perturbations n =
+  let pool =
+    [ { p_label = "lifo"; tie_order = Engine.Lifo; delay_salt = None };
+      { p_label = "shuffle1"; tie_order = Engine.Shuffled 1; delay_salt = None };
+      { p_label = "jitter1"; tie_order = Engine.Fifo; delay_salt = Some 1 };
+      { p_label = "shuffle2"; tie_order = Engine.Shuffled 2; delay_salt = None };
+      { p_label = "jitter2"; tie_order = Engine.Fifo; delay_salt = Some 2 };
+      { p_label = "shuffle3"; tie_order = Engine.Shuffled 3; delay_salt = None };
+      { p_label = "jitter3"; tie_order = Engine.Fifo; delay_salt = Some 3 };
+      { p_label = "lifo-jitter4"; tie_order = Engine.Lifo; delay_salt = Some 4 };
+    ]
+  in
+  List.filteri (fun i _ -> i < n) pool
+
+let observe ?(perturbation = baseline) g script =
+  let edge_delay =
+    Option.map (fun salt -> jittered_delay salt) perturbation.delay_salt
+  in
+  let engine =
+    Engine.create ~tie_order:perturbation.tie_order ?edge_delay g
+  in
+  Stimulus.settled_outputs engine script
+
+let check ?perturbation ~reference ~candidate script =
   if not (same_ids (Graph.sensors reference) (Graph.sensors candidate)) then
     invalid_arg "Equiv.check: sensor sets differ";
   if not
@@ -25,10 +62,8 @@ let check ~reference ~candidate script =
           (Graph.primary_outputs reference)
           (Graph.primary_outputs candidate))
   then invalid_arg "Equiv.check: primary output sets differ";
-  let ref_engine = Engine.create reference in
-  let cand_engine = Engine.create candidate in
-  let ref_obs = Stimulus.settled_outputs ref_engine script in
-  let cand_obs = Stimulus.settled_outputs cand_engine script in
+  let ref_obs = observe ?perturbation reference script in
+  let cand_obs = observe ?perturbation candidate script in
   let compare_point acc (time, ref_outputs) (_, cand_outputs) =
     match acc with
     | Error _ -> acc
@@ -68,9 +103,9 @@ let race_sensitive g script =
 let race_sensitive_random g ~seed ~steps =
   race_sensitive g (random_script g ~seed ~steps)
 
-(* A deterministic pseudo-random latency in 1..4 per connection. *)
-let jittered_delay salt (e : Graph.edge) =
-  1 + (Hashtbl.hash (salt, e.Graph.src, e.Graph.dst) land 3)
+let sensitive_under g perturbs script =
+  let reference = observe g script in
+  List.exists (fun p -> observe ~perturbation:p g script <> reference) perturbs
 
 let timing_sensitive g script =
   let observe ?tie_order ?edge_delay () =

@@ -23,14 +23,53 @@ type mismatch = {
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
+type perturbation = {
+  p_label : string;  (** short name for reports, e.g. ["lifo"], ["jitter2"] *)
+  tie_order : Engine.tie_order;
+  delay_salt : int option;
+      (** [None] = unit wire delays; [Some salt] = a deterministic
+          pseudo-random per-connection latency in 1..4 keyed on the edge
+          endpoints and [salt], so the "same" jitter applies meaningfully
+          to two networks with different edge sets *)
+}
+(** One way of running an engine that a correct, timing-insensitive
+    network must not observably depend on: a same-time event ordering
+    plus an optional per-connection latency assignment.  The verifier's
+    differential co-simulation ({!Codegen.Cosim}) replays every script
+    under a family of these. *)
+
+val baseline : perturbation
+(** Fifo ordering, unit delays — the default engine configuration. *)
+
+val perturbations : int -> perturbation list
+(** The first [n] entries of a fixed pool of useful perturbations
+    (alternating tie orders and jitter salts, capped at the pool size of
+    8).  Deterministic: equal [n] gives equal lists. *)
+
+val observe :
+  ?perturbation:perturbation ->
+  Graph.t ->
+  Stimulus.script ->
+  (int * (Node_id.t * Behavior.Ast.value) list) list
+(** The settled primary-output observations of one network under one
+    script ({!Stimulus.settled_outputs}) with the perturbation applied. *)
+
+val sensitive_under :
+  Graph.t -> perturbation list -> Stimulus.script -> bool
+(** True when any of the given perturbations changes the network's
+    settled observations relative to {!baseline} — the precondition
+    check before differential comparison under those perturbations. *)
+
 val check :
+  ?perturbation:perturbation ->
   reference:Graph.t ->
   candidate:Graph.t ->
   Stimulus.script ->
   (unit, mismatch) result
-(** Run the script against both networks, comparing settled outputs after
-    each step.  Raises [Invalid_argument] if the two networks do not have
-    identical sensor and primary-output id sets. *)
+(** Run the script against both networks (under the same optional
+    perturbation), comparing settled outputs after each step.  Raises
+    [Invalid_argument] if the two networks do not have identical sensor
+    and primary-output id sets. *)
 
 val check_random :
   reference:Graph.t ->

@@ -22,6 +22,9 @@ let apply engine script =
     script
 
 let random ~rng ~sensors ~steps ~spacing =
+  (* Prng.int needs a positive bound; a spacing of 0 (or less) means
+     "as dense as possible", which is one tick between steps. *)
+  let spacing = max 1 spacing in
   if sensors = [] then []
   else begin
     let states = Hashtbl.create (List.length sensors) in

@@ -27,7 +27,9 @@ val random :
 (** A reproducible random script: [steps] sensor flips, one every
     [1..spacing] ticks, each toggling a uniformly chosen sensor.  Spacing
     is generous by default so networks settle between changes (the blocks
-    "deal with human-scale events"). *)
+    "deal with human-scale events").  [spacing] is clamped to at least 1
+    (the tightest legal step separation); 0 or negative values therefore
+    mean "a flip every tick" rather than an error. *)
 
 val settled_outputs :
   Engine.t -> script -> (int * (Node_id.t * Behavior.Ast.value) list) list
