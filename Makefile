@@ -2,7 +2,7 @@
 # environments without Actions.
 
 .PHONY: all build test check bench tables faults verify-fuzz perf-baseline \
-	perf-smoke jobs-check clean
+	perf-smoke jobs-check journal-smoke clean
 
 all: build
 
@@ -32,8 +32,12 @@ bench:
 # through the three-tier verifier (doc/verification.md); exits nonzero
 # on any failed verdict.  The second/third lines are the --jobs
 # determinism gate for the fuzz sweep itself.
+# The first sweep arms the flight recorder: a failed verdict dumps a
+# post-mortem bundle (journal tail + metrics + git rev) that CI uploads
+# as an artifact.  On success no bundle is written.
 verify-fuzz:
-	dune exec bin/run_experiments.exe -- fuzz --seeds 30
+	PAREDOWN_FLIGHT_RECORD=paredown-postmortem.json \
+	  dune exec bin/run_experiments.exe -- fuzz --seeds 30
 	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 30 --jobs 1 > fuzz-j1.txt
 	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 30 --jobs 2 > fuzz-j2.txt
 	diff fuzz-j1.txt fuzz-j2.txt
@@ -64,6 +68,18 @@ jobs-check:
 	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- scale --jobs 2 > scale-j2.txt
 	diff scale-j1.txt scale-j2.txt
 	rm -f scale-j1.txt scale-j2.txt
+
+# Provenance-journal smoke: journal a library-design partition, then
+# run every explain query over the file (doc/provenance.md).  explain
+# summary must end with the same fit-check total the run's
+# core.paredown.fit_checks counter reports.
+journal-smoke:
+	dune exec bin/paredown.exe -- partition "Podium Timer 3" \
+	  --journal table1-journal.jsonl --metrics
+	dune exec bin/paredown.exe -- explain summary table1-journal.jsonl
+	dune exec bin/paredown.exe -- explain why 5 table1-journal.jsonl
+	dune exec bin/paredown.exe -- explain diff table1-journal.jsonl table1-journal.jsonl
+	rm -f table1-journal.jsonl
 
 clean:
 	dune clean

@@ -292,6 +292,24 @@ let obs_tests =
              sol));
     ]
 
+let journal_tests =
+  (* The provenance journal, enabled vs disabled, on the same table1
+     sweep the flight recorder rides along with.  The disabled-path
+     guard cost is measured and bounded separately
+     (Experiments.Perf.journal_overhead, asserted below and in
+     test/test_journal.ml). *)
+  let sweep () = List.map paredown_solution library_networks in
+  Test.make_grouped ~name:"journal"
+    [
+      Test.make ~name:"table1-disabled" (Staged.stage sweep);
+      Test.make ~name:"table1-ring-4096"
+        (Staged.stage (fun () ->
+             let _j = Obs.Journal.install ~capacity:4096 () in
+             Fun.protect
+               ~finally:(fun () -> ignore (Obs.Journal.uninstall ()))
+               sweep));
+    ]
+
 let parse_tests =
   let source =
     Behavior.Ast.program_to_string
@@ -310,7 +328,7 @@ let all_tests =
     [
       kernel_tests; table1_tests; table2_tests; scale_tests; worstcase_tests;
       ablation_tests; codegen_tests; sim_tests; fault_tests; power_tests;
-      obs_tests; parse_tests;
+      obs_tests; journal_tests; parse_tests;
     ]
 
 let run_benchmarks () =
@@ -356,9 +374,25 @@ let write_perf_snapshot () =
       (List.length snapshot.Obs.Snapshot.metrics)
       path
 
+(* The doc/provenance.md ≤1% claim, asserted on every bench run: the
+   disabled emit-site guard times the events a journaled table1 sweep
+   would emit must stay under 1% of the sweep's wall time. *)
+let check_journal_overhead () =
+  let o = Experiments.Perf.journal_overhead () in
+  Printf.printf
+    "\njournal disabled-path overhead: %.2f ns/guard x %d events = %.4f%% \
+     of the table1 sweep (budget 1%%)\n"
+    o.Experiments.Perf.guard_ns o.Experiments.Perf.events
+    (100. *. o.Experiments.Perf.ratio);
+  if o.Experiments.Perf.ratio > 0.01 then begin
+    prerr_endline "FAIL: journal disabled-path overhead exceeds 1%";
+    exit 1
+  end
+
 let () =
   print_tables ();
   write_perf_snapshot ();
+  check_journal_overhead ();
   if Sys.getenv_opt "BENCH_TABLES_ONLY" = None then begin
     print_endline "\n== Bechamel micro-benchmarks ==\n";
     run_benchmarks ()

@@ -14,6 +14,9 @@ module Graph = Netlist.Graph
 type obs_opts = {
   trace_file : string option;
   metrics : bool;
+  journal_file : string option;
+  flight_record : string option;
+  journal_ring : int;
 }
 
 let obs_term =
@@ -30,8 +33,31 @@ let obs_term =
              ~doc:"Print the observability counters (fit checks, search \
                    nodes, packets, emitted bytes, ...) after the command.")
   in
-  Term.(const (fun trace_file metrics -> { trace_file; metrics })
-        $ trace $ metrics)
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Record the search provenance journal (typed decision \
+                   events, JSONL) to $(docv); query it afterwards with \
+                   $(b,paredown explain) (see doc/provenance.md).")
+  in
+  let flight_record =
+    Arg.(value & opt (some string) None
+         & info [ "flight-record" ] ~docv:"FILE"
+             ~doc:"Arm the flight recorder: keep a bounded ring of \
+                   decision events and dump a post-mortem JSON bundle \
+                   (journal tail, metrics snapshot, git rev) to $(docv) \
+                   on deadline expiry, a simulation event-limit, or a \
+                   failed verification.")
+  in
+  let journal_ring =
+    Arg.(value & opt int 4096
+         & info [ "journal-ring" ] ~docv:"N"
+             ~doc:"Flight-recorder ring capacity, in events.")
+  in
+  Term.(
+    const (fun trace_file metrics journal_file flight_record journal_ring ->
+        { trace_file; metrics; journal_file; flight_record; journal_ring })
+    $ trace $ metrics $ journal $ flight_record $ journal_ring)
 
 let with_obs opts f =
   (* Open the trace file before doing any work so a bad path fails
@@ -50,22 +76,65 @@ let with_obs opts f =
         (path, oc, r))
       opts.trace_file
   in
-  Fun.protect
-    ~finally:(fun () ->
-      Obs.Trace.reset ();
-      Option.iter
-        (fun (path, oc, r) ->
+  (* The sinks must also flush on [Stdlib.exit] — synth --verify and
+     fuzz exit 1 on failure, and [Fun.protect] finalizers do not run
+     then.  Each writer is an idempotent closure registered both with
+     [at_exit] and in the finally below, so the normal path and the
+     exit path write exactly once. *)
+  let write_trace =
+    match recorder with
+    | None -> fun () -> ()
+    | Some (path, oc, r) ->
+      let written = ref false in
+      fun () ->
+        if not !written then begin
+          written := true;
           Fun.protect
             ~finally:(fun () -> close_out oc)
             (fun () -> output_string oc (Obs.Chrome.contents r));
           Printf.eprintf "trace: %d events written to %s\n"
-            (Obs.Chrome.event_count r) path)
-        recorder;
+            (Obs.Chrome.event_count r) path
+        end
+  in
+  let write_journal =
+    match opts.journal_file with
+    | None -> fun () -> ()
+    | Some path ->
+      let j = Obs.Journal.install () in
+      let written = ref false in
+      fun () ->
+        if not !written then begin
+          written := true;
+          try
+            Obs.Journal.write_file j path;
+            Printf.eprintf "journal: %d events written to %s\n"
+              (Obs.Journal.total j) path
+          with Sys_error msg ->
+            Printf.eprintf "paredown: cannot write journal: %s\n" msg
+        end
+  in
+  (match opts.flight_record with
+   | Some out ->
+     Obs.Journal.arm_post_mortem ~capacity:opts.journal_ring ~out ()
+   | None -> ());
+  at_exit write_trace;
+  at_exit write_journal;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.reset ();
+      write_trace ();
+      write_journal ();
       if opts.metrics then begin
         print_newline ();
         print_string (Obs.Metrics.to_table ~omit_zero:true ())
       end)
-    f
+    (fun () ->
+      try f ()
+      with e ->
+        (* CLI-level failures (bad netlist, rewrite errors, ...) also
+           deserve a post-mortem when the flight recorder is armed. *)
+        Obs.Journal.note_failure (Printexc.to_string e);
+        raise e)
 
 let load_network name_or_path =
   match Designs.Library.find name_or_path with
@@ -598,7 +667,62 @@ let perf_cmd =
              compare two, or profile one run per phase.")
     [ perf_record_cmd; perf_compare_cmd; perf_profile_cmd ]
 
+(* explain: query a provenance journal (see doc/provenance.md) *)
+
+let explain_load path =
+  match Obs.Journal.load_file path with
+  | Ok l -> l
+  | Error msg ->
+    Printf.eprintf "paredown explain: %s: %s\n" path msg;
+    exit 2
+
+let journal_pos n =
+  Arg.(required & pos n (some file) None
+       & info [] ~docv:"JOURNAL"
+           ~doc:"Journal JSONL file (from --journal) or post-mortem \
+                 bundle (from --flight-record).")
+
+let explain_summary_cmd =
+  let run path = print_string (Obs.Journal.summary (explain_load path)) in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"Per-phase decision counts by kind, the reject-reason \
+             histogram, and the fit-check total (which matches the \
+             run's core.paredown.fit_checks metric).")
+    Term.(const run $ journal_pos 0)
+
+let explain_why_cmd =
+  let node_arg =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"NODE" ~doc:"Block id to trace.")
+  in
+  let run node path = print_string (Obs.Journal.why ~node (explain_load path)) in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Every recorded decision that touched a block, in journal \
+             order.")
+    Term.(const run $ node_arg $ journal_pos 1)
+
+let explain_diff_cmd =
+  let run a b =
+    print_endline (Obs.Journal.diff (explain_load a) (explain_load b))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two journals: reports identical, or names the \
+             first divergent decision.")
+    Term.(const run $ journal_pos 0 $ journal_pos 1)
+
+let explain_cmd =
+  Cmd.group
+    (Cmd.info "explain"
+       ~doc:"Query a search provenance journal recorded with --journal \
+             or --flight-record: summarise decisions, trace a block, or \
+             diff two runs.")
+    [ explain_summary_cmd; explain_why_cmd; explain_diff_cmd ]
+
 let () =
+  Obs.Journal.maybe_enable_from_env ();
   let info =
     Cmd.info "paredown"
       ~doc:"eBlock system synthesis: partitioning networks of pre-defined \
@@ -608,4 +732,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
-            faults_cmd; generate_cmd; perf_cmd ]))
+            faults_cmd; generate_cmd; perf_cmd; explain_cmd ]))

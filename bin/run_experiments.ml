@@ -125,20 +125,37 @@ let run_faults seed trials csv_out () =
     (fun path -> write_csv path (Experiments.Faults.to_csv rows))
     csv_out
 
-let run_fuzz seed seeds jobs csv_out () =
+let run_fuzz seed seeds jobs csv_out show_metrics () =
   print_header
     "Verification fuzzing: three-tier Verify over random designs";
-  in_metrics_scope @@ fun () ->
-  let config = { Experiments.Fuzz.default_config with seed; seeds } in
-  let rows = Experiments.Fuzz.run ~config ~jobs () in
+  (* The scope's counter deltas feed the per-tier summary line
+     (race-limited scripts have no per-row home); --metrics prints the
+     whole per-scope registry reading on top. *)
+  let rows, entries =
+    Obs.Metrics.with_scope (fun () ->
+        let config = { Experiments.Fuzz.default_config with seed; seeds } in
+        Experiments.Fuzz.run ~config ~jobs ())
+  in
+  let race_limited =
+    match
+      List.find_opt
+        (fun e -> e.Obs.Metrics.name = "codegen.cosim.race_limited_scripts")
+        entries
+    with
+    | Some { Obs.Metrics.value = Obs.Metrics.Count n; _ } -> n
+    | Some _ | None -> 0
+  in
   print_string (Experiments.Fuzz.to_table rows);
-  print_endline (Experiments.Fuzz.summary rows);
+  print_endline (Experiments.Fuzz.summary ~race_limited rows);
   List.iter
     (fun r ->
       match r.Experiments.Fuzz.failure with
       | Some f -> Printf.printf "seed %d: %s\n" r.Experiments.Fuzz.seed f
       | None -> ())
     rows;
+  if show_metrics then
+    Printf.printf "\n-- metrics --\n%s"
+      (Obs.Metrics.render_entries ~omit_zero:true entries);
   Option.iter
     (fun path -> write_csv path (Experiments.Fuzz.to_csv rows))
     csv_out;
@@ -240,10 +257,17 @@ let fuzz_cmd =
     Arg.(value & opt int 50
          & info [ "seeds" ] ~doc:"Random designs to generate and verify.")
   in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the sweep's own metrics readings (counter \
+                   deltas, histogram diffs) after the table.")
+  in
   let term =
     Term.(
-      const (fun seed seeds jobs csv -> run_fuzz seed seeds jobs csv ())
-      $ seed_arg 2005 $ seeds_arg $ jobs_arg $ out_arg)
+      const (fun seed seeds jobs csv metrics ->
+          run_fuzz seed seeds jobs csv metrics ())
+      $ seed_arg 2005 $ seeds_arg $ jobs_arg $ out_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -262,12 +286,16 @@ let all_cmd =
           run_ablation 7 50 20 ();
           run_power 23 200 ();
           run_faults 11 10 None ();
-          run_fuzz 2005 25 jobs None ())
+          run_fuzz 2005 25 jobs None true ())
       $ jobs_arg $ const ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") term
 
 let () =
+  (* PAREDOWN_JOURNAL / PAREDOWN_FLIGHT_RECORD: verify-fuzz in CI arms
+     the flight recorder so a failing sweep leaves a post-mortem bundle
+     to upload. *)
+  Obs.Journal.maybe_enable_from_env ();
   let info =
     Cmd.info "experiments"
       ~doc:"Regenerate the tables of 'System Synthesis for Networks of \

@@ -95,15 +95,25 @@ let lower_pass ~still_fails script =
   in
   go 0 [] script
 
-let shrink ~still_fails script =
-  let rec fixpoint rounds script =
-    if rounds = 0 then script
+let shrink ?seed ~still_fails script =
+  let journal = Obs.Journal.enabled () in
+  let emit_round round script' =
+    match seed with
+    | Some seed when journal ->
+      Obs.Journal.emit
+        (Obs.Journal.Cosim_shrink
+           { seed; round; steps = List.length script' })
+    | Some _ | None -> ()
+  in
+  let rec fixpoint round script =
+    if round > 8 then script
     else begin
       let script' = lower_pass ~still_fails (drop_pass ~still_fails script) in
-      if script' = script then script else fixpoint (rounds - 1) script'
+      emit_round round script';
+      if script' = script then script else fixpoint (round + 1) script'
     end
   in
-  fixpoint 8 script
+  fixpoint 1 script
 
 (* --- the differential loop ------------------------------------------- *)
 
@@ -170,7 +180,7 @@ let run ?(config = default_config) ~reference candidate =
                   && Result.is_error
                        (Sim.Equiv.check ~perturbation ~reference ~candidate s)
                 in
-                let script = shrink ~still_fails script in
+                let script = shrink ~seed ~still_fails script in
                 let mismatch =
                   match
                     Sim.Equiv.check ~perturbation ~reference ~candidate script

@@ -67,6 +67,7 @@ type outcome =
           script was timing-sensitive on the flat design) *)
 
 val shrink :
+  ?seed:int ->
   still_fails:(Sim.Stimulus.script -> bool) ->
   Sim.Stimulus.script ->
   Sim.Stimulus.script
@@ -74,7 +75,9 @@ val shrink :
     (largest first), then lower each step's time toward its
     predecessor's, keeping any change under which [still_fails] holds;
     iterates to a fixpoint.  [still_fails] must hold for the input
-    script; the empty script is never proposed. *)
+    script; the empty script is never proposed.  When [seed] names the
+    originating script's stream, each fixpoint round is journaled as an
+    [Obs.Journal.Cosim_shrink] event. *)
 
 val run : ?config:config -> reference:Graph.t -> Graph.t -> outcome
 (** [run ~reference candidate] differentially co-simulates the two

@@ -358,7 +358,14 @@ let cosim_tier config g members (plan : Plan.t) =
 
 (* --- dispatch --------------------------------------------------------- *)
 
-let record status =
+let tier_label = function
+  | Proven -> "proven"
+  | Bounded_equivalent _ -> "bounded"
+  | Cosim_passed _ -> "cosim"
+  | Failed _ -> "failed"
+  | Skipped _ -> "skipped"
+
+let record ~members status =
   (match status with
    | Proven -> Obs.Metrics.incr m_proven
    | Bounded_equivalent { states; _ } ->
@@ -367,6 +374,19 @@ let record status =
    | Cosim_passed _ -> Obs.Metrics.incr m_cosim_passed
    | Failed _ -> Obs.Metrics.incr m_failed
    | Skipped _ -> Obs.Metrics.incr m_skipped);
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      (Obs.Journal.Verify_tier
+         {
+           members = Node_id.Set.elements members;
+           tier = tier_label status;
+           detail = Format.asprintf "%a" pp_status status;
+         });
+  (match status with
+   | Failed _ ->
+     Obs.Journal.note_failure
+       (Format.asprintf "verification failed: %a" pp_status status)
+   | _ -> ());
   status
 
 let check_partition ?(config = default_config) g members =
@@ -387,7 +407,7 @@ let check_partition ?(config = default_config) g members =
       (fun i -> Ast.uses_timer i.mi_desc.Eblock.Descriptor.behavior)
       infos
   in
-  record
+  record ~members
   @@
   if uses_timer then
     (* timer expiries are engine events, not input-driven transitions:

@@ -74,6 +74,13 @@ let pick_move rng =
   | 7 -> Dissolve
   | _ -> Merge
 
+let move_label = function
+  | Grow -> "grow"
+  | Shrink -> "shrink"
+  | Seed_pair -> "seed_pair"
+  | Dissolve -> "dissolve"
+  | Merge -> "merge"
+
 (* uncovered eligible blocks, as a list *)
 let uncovered_of g partitions =
   let covered =
@@ -97,12 +104,15 @@ let replace_nth list index replacement =
 
 let remove_nth list index = List.filteri (fun i _ -> i <> index) list
 
-(* Propose a new partition list, or None if the move has no valid
-   instantiation at this state. *)
+(* Propose a new partition list ([None] when the picked move has no
+   valid instantiation at this state), returning the move alongside so
+   the journal can label the decision. *)
 let propose ~config g rng partitions =
   let uncovered = uncovered_of g partitions in
   let n = List.length partitions in
-  match pick_move rng with
+  let move = pick_move rng in
+  let outcome =
+  match move with
   | Grow when n > 0 ->
     let index = Prng.int rng n in
     let p = List.nth partitions index in
@@ -164,6 +174,8 @@ let propose ~config g rng partitions =
       | None -> None
     end
   | Grow | Shrink | Dissolve | Merge -> None
+  in
+  (move, outcome)
 
 let run ?(config = default_config) ?(start = Solution.empty) g =
   Obs.Trace.with_span "annealing.run"
@@ -172,6 +184,11 @@ let run ?(config = default_config) ?(start = Solution.empty) g =
         ("iterations", string_of_int config.iterations) ]
   @@ fun () ->
   let rng = Prng.create config.seed in
+  let journal = Obs.Journal.enabled () in
+  if journal then
+    Obs.Journal.emit
+      (Obs.Journal.Run_started
+         { phase = "annealing"; inner = Graph.inner_count g });
   let proposed = ref 0 and accepted = ref 0 in
   let rec anneal temperature current current_energy best best_energy
       remaining =
@@ -181,7 +198,7 @@ let run ?(config = default_config) ?(start = Solution.empty) g =
     end
     else begin
       incr proposed;
-      let next_state =
+      let move, next_state =
         propose ~config g rng current.Solution.partitions
       in
       let current, current_energy, best, best_energy =
@@ -195,6 +212,15 @@ let run ?(config = default_config) ?(start = Solution.empty) g =
             || Prng.float rng 1.0
                < exp ((current_energy -. candidate_energy) /. temperature)
           in
+          if journal then
+            Obs.Journal.emit
+              (Obs.Journal.Anneal_move
+                 {
+                   move = move_label move;
+                   accepted = accept;
+                   temperature;
+                   energy = candidate_energy;
+                 });
           if accept then begin
             incr accepted;
             if candidate_energy < best_energy then

@@ -89,6 +89,11 @@ let run ?(config = default_config) ?deadline_s g =
     | Lowest_cost -> Solution.compare_cost g
   in
   let start = Obs.Clock.now_ns () in
+  let journal = Obs.Journal.enabled () in
+  if journal then
+    Obs.Journal.emit
+      (Obs.Journal.Run_started
+         { phase = "exhaustive"; inner = Graph.inner_count g });
   let nodes_explored = ref 0 in
   let leaves_checked = ref 0 in
   let best = ref Solution.empty in
@@ -163,7 +168,11 @@ let run ?(config = default_config) ?deadline_s g =
       if compare_solutions sol !best < 0 then begin
         best := sol;
         best_total := Solution.total_inner_after g sol;
-        best_cost := Solution.total_cost_after g sol
+        best_cost := Solution.total_cost_after g sol;
+        if journal then
+          Obs.Journal.emit
+            (Obs.Journal.Exhaustive_best
+               { total = !best_total; cost = !best_cost })
       end
     end
   in
@@ -183,7 +192,22 @@ let run ?(config = default_config) ?deadline_s g =
   let rec assign i bins_open unassigned unassigned_cost =
     incr nodes_explored;
     check_deadline ();
-    if prunable bins_open unassigned unassigned_cost then ()
+    if prunable bins_open unassigned unassigned_cost then begin
+      if journal then begin
+        let bound, incumbent =
+          match config.objective with
+          | Fewest_blocks ->
+            ( float_of_int (fixed_inner + unassigned + bins_open),
+              float_of_int !best_total )
+          | Lowest_cost ->
+            ( fixed_cost +. unassigned_cost
+              +. (float_of_int bins_open *. min_shape_cost),
+              !best_cost )
+        in
+        Obs.Journal.emit
+          (Obs.Journal.Pruned { depth = i; bins_open; bound; best = incumbent })
+      end
+    end
     else if i = n then consider_leaf bins_open unassigned
     else begin
       let idx = block_idx.(i) in
@@ -210,7 +234,15 @@ let run ?(config = default_config) ?deadline_s g =
    | exception Deadline ->
      timed_out := true;
      Obs.Metrics.incr m_deadline_hits;
-     Obs.Trace.instant "exhaustive.deadline");
+     Obs.Trace.instant "exhaustive.deadline";
+     let budget_s = match deadline_s with Some b -> b | None -> 0. in
+     if journal then
+       Obs.Journal.emit
+         (Obs.Journal.Deadline_expired
+            { phase = "exhaustive"; budget_s; nodes = !nodes_explored });
+     Obs.Journal.note_failure
+       (Printf.sprintf "exhaustive deadline expired (budget %gs, %d nodes)"
+          budget_s !nodes_explored));
   Obs.Metrics.incr m_runs;
   Obs.Metrics.add m_nodes !nodes_explored;
   Obs.Metrics.add m_leaves !leaves_checked;

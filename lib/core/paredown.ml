@@ -160,7 +160,13 @@ let candidate_remove cand b =
 
 let candidate_is_border cand b = Dense.is_border cand.d cand.members b
 
-let candidate_fits cand =
+(* The fit verdict keeps the two failure modes apart so the journal can
+   report them separately; convexity is only evaluated when pins pass
+   (it is the expensive half) and when the config demands it — [None]
+   means "not consulted". *)
+type fit_verdict = { pins_ok : bool; convex_ok : bool option }
+
+let fit_verdict cand =
   let pins_ok =
     List.exists
       (fun shape ->
@@ -168,9 +174,15 @@ let candidate_fits cand =
           ~outputs_used:cand.outputs_used)
       cand.config.shapes
   in
-  pins_ok
-  && ((not cand.config.partition_config.Partition.require_convex)
-      || Dense.is_convex cand.d cand.members)
+  let convex_ok =
+    if pins_ok && cand.config.partition_config.Partition.require_convex then
+      Some (Dense.is_convex cand.d cand.members)
+    else None
+  in
+  { pins_ok; convex_ok }
+
+let verdict_passes v = v.pins_ok && v.convex_ok <> Some false
+let candidate_fits cand = verdict_passes (fit_verdict cand)
 
 let chosen_shape cand =
   Shape.cheapest_fitting cand.config.shapes ~inputs_used:cand.inputs_used
@@ -250,6 +262,14 @@ let run ?(config = default_config) ?(record_trace = false) g =
   (* Trace payloads (border ranks in particular) are costly to build, so
      they are only computed when tracing is on. *)
   let emit event = if record_trace then trace := event () :: !trace in
+  (* The journal cannot be (un)installed mid-run, so the enabled guard is
+     read once; every journal emit below allocates nothing when it is
+     off. *)
+  let journal = Obs.Journal.enabled () in
+  if journal then
+    Obs.Journal.emit
+      (Obs.Journal.Run_started
+         { phase = "paredown"; inner = Graph.inner_count g });
   let outer = ref 0 in
   let fit_checks = ref 0 in
   let removals = ref 0 in
@@ -259,7 +279,24 @@ let run ?(config = default_config) ?(record_trace = false) g =
      Stop_everything policy fires on an emptied candidate. *)
   let rec pare blocks cand partitions =
     incr fit_checks;
-    if candidate_fits cand then begin
+    let fits =
+      if journal then begin
+        let v = fit_verdict cand in
+        let fits = verdict_passes v in
+        Obs.Journal.emit
+          (Obs.Journal.Fit_check
+             {
+               inputs_used = cand.inputs_used;
+               outputs_used = cand.outputs_used;
+               pins_ok = v.pins_ok;
+               convex_ok = v.convex_ok;
+               fits;
+             });
+        fits
+      end
+      else candidate_fits cand
+    in
+    if fits then begin
       match cand.card with
       | 0 ->
         (* Only reachable by paring a lone unplaceable block down to
@@ -271,6 +308,9 @@ let run ?(config = default_config) ?(record_trace = false) g =
         let members = Dense.ids_of_set d cand.members in
         let id = Node_id.Set.choose members in
         emit (fun () -> Left_single id);
+        if journal then
+          Obs.Journal.emit
+            (Obs.Journal.Rejected { node = id; reason = "left_single" });
         Some (Node_id.Set.diff blocks members, partitions)
       | _ ->
         let shape =
@@ -280,6 +320,13 @@ let run ?(config = default_config) ?(record_trace = false) g =
         in
         let members = Dense.ids_of_set d cand.members in
         emit (fun () -> Accepted (members, shape));
+        if journal then
+          Obs.Journal.emit
+            (Obs.Journal.Accepted
+               {
+                 members = Node_id.Set.elements members;
+                 shape = Format.asprintf "%a" Shape.pp shape;
+               });
         let partition = Partition.make ~members ~shape in
         Some (Node_id.Set.diff blocks members, partition :: partitions)
     end
@@ -291,11 +338,30 @@ let run ?(config = default_config) ?(record_trace = false) g =
         incr removals;
         let victim_id = Dense.node_id d victim in
         emit (fun () -> Removed (victim_id, victim_rank));
+        if journal then begin
+          (* The per-edge delta must be read before the membership flips;
+             under per-net counting there is no per-edge decomposition to
+             report. *)
+          let d_in, d_out =
+            match config.partition_config.Partition.pin_counting with
+            | Partition.Per_edge ->
+              let di, dd = Dense.removal_delta d cand.members victim in
+              (Some di, Some dd)
+            | Partition.Per_net -> (None, None)
+          in
+          Obs.Journal.emit
+            (Obs.Journal.Removed
+               { node = victim_id; rank = victim_rank; d_in; d_out })
+        end;
         candidate_remove cand victim;
         let blocks =
           if cand.card = 0 then begin
             (* The victim could not fit even alone. *)
             emit (fun () -> Unplaceable victim_id);
+            if journal then
+              Obs.Journal.emit
+                (Obs.Journal.Rejected
+                   { node = victim_id; reason = "unplaceable" });
             Node_id.Set.remove victim_id blocks
           end
           else blocks
@@ -308,6 +374,10 @@ let run ?(config = default_config) ?(record_trace = false) g =
     else begin
       incr outer;
       emit (fun () -> Candidate_started blocks);
+      if journal then
+        Obs.Journal.emit
+          (Obs.Journal.Candidate_started
+             { members = Node_id.Set.elements blocks });
       let cand = candidate_of_set ~config d blocks in
       match pare blocks cand partitions with
       | None -> partitions

@@ -119,7 +119,7 @@ let to_csv rows =
            ])
          rows)
 
-let summary rows =
+let summary ?race_limited rows =
   let t = List.fold_left (fun a r -> add_tally a r.tally) zero_tally rows in
   let parts = List.fold_left (fun a r -> a + r.partitions) 0 rows in
   let base =
@@ -129,6 +129,11 @@ let summary rows =
       (List.length rows) parts t.Codegen.Verify.proven
       t.Codegen.Verify.bounded t.Codegen.Verify.cosim_passed
       t.Codegen.Verify.failed t.Codegen.Verify.skipped
+  in
+  let base =
+    match race_limited with
+    | Some n -> Printf.sprintf "%s, %d race-limited script(s)" base n
+    | None -> base
   in
   match failed_seeds rows with
   | [] -> base ^ " — zero failed verdicts"

@@ -44,5 +44,9 @@ val to_table : row list -> string
 val to_csv : row list -> string
 (** Per-design rows, full detail. *)
 
-val summary : row list -> string
-(** One line: totals per bucket, plus the failing seeds when any. *)
+val summary : ?race_limited:int -> row list -> string
+(** One line: per-tier verdict totals (proven / bounded / cosim-passed /
+    failed / skipped), plus the failing seeds when any.  [race_limited]
+    appends the sweep's [codegen.cosim.race_limited_scripts] reading —
+    scripts checked under the baseline engine only because the rewrite
+    surfaced a timing race latent in the flat design. *)

@@ -144,6 +144,21 @@ let groups =
     { name = "frontend"; doc = "behaviour-language parse of a merged program";
       run =
         (fun () -> keep (Behavior.Parse.program (Lazy.force merged_source))) };
+    { name = "journal";
+      doc = "the table1 sweep with the provenance journal enabled (ring)";
+      run =
+        (fun () ->
+          (* Same workload as the table1 group, but journaled the way the
+             flight recorder runs it (bounded ring), so
+             perf.journal_ns / perf.table1_ns is the enabled-path
+             overhead on a real sweep. *)
+          let _j = Obs.Journal.install ~capacity:4096 () in
+          Fun.protect
+            ~finally:(fun () -> ignore (Obs.Journal.uninstall ()))
+            (fun () ->
+              List.iter
+                (fun g -> keep (paredown_solution g))
+                (Lazy.force library_networks))) };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -167,6 +182,54 @@ let sleep_hook name =
     let t0 = Obs.Clock.now_ns () in
     while Obs.Clock.elapsed_s t0 *. 1000. < ms do () done
   | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Disabled-journal overhead: every emit site costs one [enabled ()]
+   read and a branch when no journal is installed.  [journal_overhead]
+   measures that guard directly, counts how many events a journaled
+   table1 sweep would emit, and expresses the product as a fraction of
+   the disabled sweep's wall time — the quantity the ≤1% claim in
+   doc/provenance.md is about. *)
+
+type journal_overhead = {
+  guard_ns : float;
+  events : int;
+  sweep_ns : float;
+  ratio : float;
+}
+
+let journal_overhead ?(iters = 1_000_000) () =
+  ignore (Obs.Journal.uninstall ());
+  let sweep () =
+    List.iter (fun g -> keep (paredown_solution g))
+      (Lazy.force library_networks)
+  in
+  (* untimed pass: forces the lazies and warms caches *)
+  sweep ();
+  let hits = ref 0 in
+  let t0 = Obs.Clock.now_ns () in
+  for _ = 1 to iters do
+    if Obs.Journal.enabled () then incr hits
+  done;
+  let guard_ns =
+    Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0)
+    /. float_of_int (max 1 iters)
+  in
+  assert (!hits = 0);
+  let j = Obs.Journal.install () in
+  sweep ();
+  ignore (Obs.Journal.uninstall ());
+  let events = Obs.Journal.total j in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Obs.Clock.now_ns () in
+    sweep ();
+    let dt = Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) in
+    if dt < !best then best := dt
+  done;
+  let sweep_ns = !best in
+  { guard_ns; events; sweep_ns;
+    ratio = guard_ns *. float_of_int events /. sweep_ns }
 
 (* ------------------------------------------------------------------ *)
 

@@ -10,7 +10,7 @@ type group = {
   name : string;
       (** bench group this mirrors: kernel, exhaustive, table1, table2,
           scale, worstcase, ablation, codegen, sim, faults, power,
-          frontend *)
+          frontend, journal *)
   doc : string;
   run : unit -> unit;
 }
@@ -26,6 +26,22 @@ val sleep_hook : string -> unit
     [PAREDOWN_PERF_SLEEP_GROUP] matches it ([PAREDOWN_PERF_SLEEP_MS]
     milliseconds, default 100).  Exists so the regression gate can be
     demonstrated — and tested — without editing code. *)
+
+type journal_overhead = {
+  guard_ns : float;
+      (** measured cost of one disabled emit-site guard
+          ([Obs.Journal.enabled ()] read + branch) *)
+  events : int;  (** events a journaled table1 sweep emits *)
+  sweep_ns : float;  (** journal-disabled table1 sweep wall time (min of 3) *)
+  ratio : float;  (** [guard_ns * events / sweep_ns] — the disabled-path
+                      overhead fraction the ≤1% claim is about *)
+}
+
+val journal_overhead : ?iters:int -> unit -> journal_overhead
+(** Measure the disabled-journal overhead of the table1 sweep.
+    Uninstalls any current journal first (it measures the disabled
+    path) and leaves the journal uninstalled.  [iters] (default 1e6)
+    is the guard-timing loop length. *)
 
 val record : ?repeats:int -> ?config:(string * string) list -> unit -> Obs.Snapshot.t
 (** Run every group once untimed (warmup; the pass the counters and

@@ -1,0 +1,674 @@
+(* Search provenance journal and failure flight recorder.  See the
+   interface for the design contract; the two load-bearing invariants
+   here are (a) the disabled [emit] path touches no allocation — every
+   emit site is guarded by [enabled ()], one ref read — and (b) events
+   carry logical sequence numbers only, assigned on arrival, so journals
+   are deterministic across [--jobs] once {!capture} buffers are
+   appended in input order. *)
+
+type event =
+  | Run_started of { phase : string; inner : int }
+  | Candidate_started of { members : int list }
+  | Fit_check of {
+      inputs_used : int;
+      outputs_used : int;
+      pins_ok : bool;
+      convex_ok : bool option;
+      fits : bool;
+    }
+  | Removed of { node : int; rank : int; d_in : int option; d_out : int option }
+  | Accepted of { members : int list; shape : string }
+  | Rejected of { node : int; reason : string }
+  | Anneal_move of {
+      move : string;
+      accepted : bool;
+      temperature : float;
+      energy : float;
+    }
+  | Pruned of { depth : int; bins_open : int; bound : float; best : float }
+  | Exhaustive_best of { total : int; cost : float }
+  | Deadline_expired of { phase : string; budget_s : float; nodes : int }
+  | Verify_tier of { members : int list; tier : string; detail : string }
+  | Cosim_shrink of { seed : int; round : int; steps : int }
+  | Event_limit of { clock : int; queue_depth : int; last_node : int option }
+
+let phase_of_event = function
+  | Run_started { phase; _ } | Deadline_expired { phase; _ } -> phase
+  | Candidate_started _ | Fit_check _ | Removed _ | Accepted _ | Rejected _ ->
+    "paredown"
+  | Anneal_move _ -> "annealing"
+  | Pruned _ | Exhaustive_best _ -> "exhaustive"
+  | Verify_tier _ -> "verify"
+  | Cosim_shrink _ -> "cosim"
+  | Event_limit _ -> "sim"
+
+let kind_of_event = function
+  | Run_started _ -> "run_started"
+  | Candidate_started _ -> "candidate_started"
+  | Fit_check _ -> "fit_check"
+  | Removed _ -> "removed"
+  | Accepted _ -> "accepted"
+  | Rejected _ -> "rejected"
+  | Anneal_move _ -> "anneal_move"
+  | Pruned _ -> "pruned"
+  | Exhaustive_best _ -> "exhaustive_best"
+  | Deadline_expired _ -> "deadline_expired"
+  | Verify_tier _ -> "verify_tier"
+  | Cosim_shrink _ -> "cosim_shrink"
+  | Event_limit _ -> "event_limit"
+
+let nodes_of_event = function
+  | Candidate_started { members } -> members
+  | Removed { node; _ } | Rejected { node; _ } -> [ node ]
+  | Accepted { members; _ } | Verify_tier { members; _ } -> members
+  | Event_limit { last_node = Some node; _ } -> [ node ]
+  | Run_started _ | Fit_check _ | Anneal_move _ | Pruned _ | Exhaustive_best _
+  | Deadline_expired _ | Cosim_shrink _ | Event_limit { last_node = None; _ } ->
+    []
+
+let pp_members ppf members =
+  Format.fprintf ppf "{%s}"
+    (String.concat " " (List.map string_of_int members))
+
+let pp_opt_int ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some v -> Format.pp_print_int ppf v
+
+let pp_event ppf = function
+  | Run_started { phase; inner } ->
+    Format.fprintf ppf "run started: %s over %d inner blocks" phase inner
+  | Candidate_started { members } ->
+    Format.fprintf ppf "candidate started %a" pp_members members
+  | Fit_check { inputs_used; outputs_used; pins_ok; convex_ok; fits } ->
+    Format.fprintf ppf "fit check: in=%d out=%d pins=%s convex=%s -> %s"
+      inputs_used outputs_used
+      (if pins_ok then "ok" else "over")
+      (match convex_ok with
+      | None -> "-"
+      | Some true -> "ok"
+      | Some false -> "broken")
+      (if fits then "fits" else "does not fit")
+  | Removed { node; rank; d_in; d_out } ->
+    Format.fprintf ppf "removed node %d (rank %d, d_in=%a d_out=%a)" node rank
+      pp_opt_int d_in pp_opt_int d_out
+  | Accepted { members; shape } ->
+    Format.fprintf ppf "accepted %a as %s" pp_members members shape
+  | Rejected { node; reason } ->
+    Format.fprintf ppf "rejected node %d (%s)" node reason
+  | Anneal_move { move; accepted; temperature; energy } ->
+    Format.fprintf ppf "%s move %s at T=%g (energy %g)" move
+      (if accepted then "accepted" else "rejected")
+      temperature energy
+  | Pruned { depth; bins_open; bound; best } ->
+    Format.fprintf ppf "pruned at depth %d (%d bins open, bound %g vs best %g)"
+      depth bins_open bound best
+  | Exhaustive_best { total; cost } ->
+    Format.fprintf ppf "new best: %d blocks (cost %g)" total cost
+  | Deadline_expired { phase; budget_s; nodes } ->
+    Format.fprintf ppf "%s deadline expired after %d nodes (budget %gs)" phase
+      nodes budget_s
+  | Verify_tier { members; tier; detail } ->
+    Format.fprintf ppf "verified %a via %s: %s" pp_members members tier detail
+  | Cosim_shrink { seed; round; steps } ->
+    Format.fprintf ppf "shrink round %d: %d steps left (seed %d)" round steps
+      seed
+  | Event_limit { clock; queue_depth; last_node } ->
+    Format.fprintf ppf "event limit at clock %d (queue %d, last node %a)" clock
+      queue_depth pp_opt_int last_node
+
+(* ------------------------------------------------------------------ *)
+(* Storage: a growable array that, once it reaches a positive
+   [capacity], wraps as a ring with [head] pointing at the oldest
+   retained event.  [total] never stops counting, so the sequence
+   number of retained event [i] is [total - len + i]. *)
+
+type t = {
+  mutable store : event array;
+  mutable len : int;
+  mutable head : int;
+  capacity : int; (* 0 = unbounded *)
+  mutable total : int;
+}
+
+let dummy_event = Run_started { phase = ""; inner = 0 }
+
+let create ?(capacity = 0) () =
+  { store = [||]; len = 0; head = 0; capacity; total = 0 }
+
+let push t e =
+  if t.capacity > 0 && t.len = t.capacity then begin
+    t.store.(t.head) <- e;
+    t.head <- (t.head + 1) mod t.capacity
+  end
+  else begin
+    let cap = Array.length t.store in
+    if t.len = cap then begin
+      let ncap = max 16 (2 * cap) in
+      let ncap = if t.capacity > 0 then min ncap t.capacity else ncap in
+      let ns = Array.make ncap dummy_event in
+      Array.blit t.store 0 ns 0 t.len;
+      t.store <- ns
+    end;
+    t.store.(t.len) <- e;
+    t.len <- t.len + 1
+  end;
+  t.total <- t.total + 1
+
+let events t =
+  let base = t.total - t.len in
+  let cap = Array.length t.store in
+  List.init t.len (fun i -> (base + i, t.store.((t.head + i) mod cap)))
+
+let total t = t.total
+let dropped t = t.total - t.len
+
+(* ------------------------------------------------------------------ *)
+(* The current journal and per-domain capture buffers.  [current] is
+   set before any worker domain spawns and read-only while they run;
+   worker emissions always land in a capture buffer (Parallel.map wraps
+   every item), so the shared journal is only mutated by the main
+   domain. *)
+
+let current : t option ref = ref None
+
+let capture_slot : event list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let enabled () = match !current with Some _ -> true | None -> false
+
+let emit e =
+  let slot = Domain.DLS.get capture_slot in
+  match !slot with
+  | Some buf -> buf := e :: !buf
+  | None -> ( match !current with Some t -> push t e | None -> ())
+
+type buffer = event list ref
+
+let capture f =
+  let slot = Domain.DLS.get capture_slot in
+  let saved = !slot in
+  let buf : buffer = ref [] in
+  slot := Some buf;
+  Fun.protect
+    ~finally:(fun () -> slot := saved)
+    (fun () ->
+      let r = f () in
+      (r, buf))
+
+let append (buf : buffer) =
+  match !current with
+  | None -> ()
+  | Some t -> List.iter (push t) (List.rev !buf)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL serialisation *)
+
+let schema_name = "paredown-journal"
+let schema_version = 1
+
+let num i = Json.Num (float_of_int i)
+let num_list l = Json.Arr (List.map num l)
+let opt_num = function None -> Json.Null | Some v -> num v
+let opt_bool = function None -> Json.Null | Some b -> Json.Bool b
+
+let fields_of_event = function
+  | Run_started { phase = _; inner } -> [ ("inner", num inner) ]
+  | Candidate_started { members } -> [ ("members", num_list members) ]
+  | Fit_check { inputs_used; outputs_used; pins_ok; convex_ok; fits } ->
+    [
+      ("inputs_used", num inputs_used);
+      ("outputs_used", num outputs_used);
+      ("pins_ok", Json.Bool pins_ok);
+      ("convex_ok", opt_bool convex_ok);
+      ("fits", Json.Bool fits);
+    ]
+  | Removed { node; rank; d_in; d_out } ->
+    [
+      ("node", num node);
+      ("rank", num rank);
+      ("d_in", opt_num d_in);
+      ("d_out", opt_num d_out);
+    ]
+  | Accepted { members; shape } ->
+    [ ("members", num_list members); ("shape", Json.Str shape) ]
+  | Rejected { node; reason } ->
+    [ ("node", num node); ("reason", Json.Str reason) ]
+  | Anneal_move { move; accepted; temperature; energy } ->
+    [
+      ("move", Json.Str move);
+      ("accepted", Json.Bool accepted);
+      ("temperature", Json.Num temperature);
+      ("energy", Json.Num energy);
+    ]
+  | Pruned { depth; bins_open; bound; best } ->
+    [
+      ("depth", num depth);
+      ("bins_open", num bins_open);
+      ("bound", Json.Num bound);
+      ("best", Json.Num best);
+    ]
+  | Exhaustive_best { total; cost } ->
+    [ ("total", num total); ("cost", Json.Num cost) ]
+  | Deadline_expired { phase = _; budget_s; nodes } ->
+    [ ("budget_s", Json.Num budget_s); ("nodes", num nodes) ]
+  | Verify_tier { members; tier; detail } ->
+    [
+      ("members", num_list members);
+      ("tier", Json.Str tier);
+      ("detail", Json.Str detail);
+    ]
+  | Cosim_shrink { seed; round; steps } ->
+    [ ("seed", num seed); ("round", num round); ("steps", num steps) ]
+  | Event_limit { clock; queue_depth; last_node } ->
+    [
+      ("clock", num clock);
+      ("queue_depth", num queue_depth);
+      ("last_node", opt_num last_node);
+    ]
+
+let json_of_event ~seq e =
+  Json.Obj
+    (("seq", num seq)
+    :: ("phase", Json.Str (phase_of_event e))
+    :: ("kind", Json.Str (kind_of_event e))
+    :: fields_of_event e)
+
+let header_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_name);
+      ("version", num schema_version);
+      ("total", num t.total);
+      ("dropped", num (dropped t));
+    ]
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Json.to_string (header_json t));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (seq, e) ->
+      Buffer.add_string b (Json.to_string (json_of_event ~seq e));
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl t))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.to_float v with
+  | Some f -> Ok (int_of_float f)
+  | None -> Error (Printf.sprintf "field %S: number expected" name)
+
+let float_field name j =
+  let* v = field name j in
+  match Json.to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: number expected" name)
+
+let str_field name j =
+  let* v = field name j in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: string expected" name)
+
+let bool_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: bool expected" name)
+
+let opt_int_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Null -> Ok None
+  | Json.Num f -> Ok (Some (int_of_float f))
+  | _ -> Error (Printf.sprintf "field %S: number or null expected" name)
+
+let opt_bool_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Null -> Ok None
+  | Json.Bool b -> Ok (Some b)
+  | _ -> Error (Printf.sprintf "field %S: bool or null expected" name)
+
+let int_list_field name j =
+  let* v = field name j in
+  match v with
+  | Json.Arr items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Num f :: rest -> go (int_of_float f :: acc) rest
+      | _ -> Error (Printf.sprintf "field %S: int array expected" name)
+    in
+    go [] items
+  | _ -> Error (Printf.sprintf "field %S: array expected" name)
+
+let event_of_json j =
+  let* kind = str_field "kind" j in
+  match kind with
+  | "run_started" ->
+    let* phase = str_field "phase" j in
+    let* inner = int_field "inner" j in
+    Ok (Run_started { phase; inner })
+  | "candidate_started" ->
+    let* members = int_list_field "members" j in
+    Ok (Candidate_started { members })
+  | "fit_check" ->
+    let* inputs_used = int_field "inputs_used" j in
+    let* outputs_used = int_field "outputs_used" j in
+    let* pins_ok = bool_field "pins_ok" j in
+    let* convex_ok = opt_bool_field "convex_ok" j in
+    let* fits = bool_field "fits" j in
+    Ok (Fit_check { inputs_used; outputs_used; pins_ok; convex_ok; fits })
+  | "removed" ->
+    let* node = int_field "node" j in
+    let* rank = int_field "rank" j in
+    let* d_in = opt_int_field "d_in" j in
+    let* d_out = opt_int_field "d_out" j in
+    Ok (Removed { node; rank; d_in; d_out })
+  | "accepted" ->
+    let* members = int_list_field "members" j in
+    let* shape = str_field "shape" j in
+    Ok (Accepted { members; shape })
+  | "rejected" ->
+    let* node = int_field "node" j in
+    let* reason = str_field "reason" j in
+    Ok (Rejected { node; reason })
+  | "anneal_move" ->
+    let* move = str_field "move" j in
+    let* accepted = bool_field "accepted" j in
+    let* temperature = float_field "temperature" j in
+    let* energy = float_field "energy" j in
+    Ok (Anneal_move { move; accepted; temperature; energy })
+  | "pruned" ->
+    let* depth = int_field "depth" j in
+    let* bins_open = int_field "bins_open" j in
+    let* bound = float_field "bound" j in
+    let* best = float_field "best" j in
+    Ok (Pruned { depth; bins_open; bound; best })
+  | "exhaustive_best" ->
+    let* total = int_field "total" j in
+    let* cost = float_field "cost" j in
+    Ok (Exhaustive_best { total; cost })
+  | "deadline_expired" ->
+    let* phase = str_field "phase" j in
+    let* budget_s = float_field "budget_s" j in
+    let* nodes = int_field "nodes" j in
+    Ok (Deadline_expired { phase; budget_s; nodes })
+  | "verify_tier" ->
+    let* members = int_list_field "members" j in
+    let* tier = str_field "tier" j in
+    let* detail = str_field "detail" j in
+    Ok (Verify_tier { members; tier; detail })
+  | "cosim_shrink" ->
+    let* seed = int_field "seed" j in
+    let* round = int_field "round" j in
+    let* steps = int_field "steps" j in
+    Ok (Cosim_shrink { seed; round; steps })
+  | "event_limit" ->
+    let* clock = int_field "clock" j in
+    let* queue_depth = int_field "queue_depth" j in
+    let* last_node = opt_int_field "last_node" j in
+    Ok (Event_limit { clock; queue_depth; last_node })
+  | k -> Error (Printf.sprintf "unknown event kind %S" k)
+
+(* ------------------------------------------------------------------ *)
+(* Post-mortem bundles / flight recorder *)
+
+let bundle_schema_name = "paredown-postmortem"
+
+let post_mortem_json ~reason t =
+  let snapshot = Snapshot.capture ?git_rev:(Snapshot.git_rev ()) () in
+  Json.Obj
+    [
+      ("schema", Json.Str bundle_schema_name);
+      ("version", num schema_version);
+      ("reason", Json.Str reason);
+      ("total", num t.total);
+      ("dropped", num (dropped t));
+      ( "journal",
+        Json.Arr (List.map (fun (seq, e) -> json_of_event ~seq e) (events t))
+      );
+      ("snapshot", Snapshot.to_json snapshot);
+    ]
+
+let write_post_mortem ~reason ~out t =
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 (post_mortem_json ~reason t));
+      output_char oc '\n')
+
+let armed_out : string option ref = ref None
+let dumped = Atomic.make false
+
+let install ?capacity () =
+  let t = create ?capacity () in
+  current := Some t;
+  t
+
+let uninstall () =
+  let t = !current in
+  current := None;
+  armed_out := None;
+  t
+
+let arm_post_mortem ?(capacity = 4096) ~out () =
+  (match !current with None -> ignore (install ~capacity ()) | Some _ -> ());
+  armed_out := Some out;
+  Atomic.set dumped false
+
+let note_failure reason =
+  match !armed_out with
+  | None -> ()
+  | Some out ->
+    if not (Atomic.exchange dumped true) then (
+      match !current with
+      | Some t -> ( try write_post_mortem ~reason ~out t with Sys_error _ -> ())
+      | None -> ())
+
+let maybe_enable_from_env () =
+  (match Sys.getenv_opt "PAREDOWN_JOURNAL" with
+  | Some file when file <> "" ->
+    let t = install () in
+    at_exit (fun () -> try write_file t file with Sys_error _ -> ())
+  | _ -> ());
+  match Sys.getenv_opt "PAREDOWN_FLIGHT_RECORD" with
+  | Some file when file <> "" -> arm_post_mortem ~out:file ()
+  | _ -> ()
+
+let reset () =
+  current := None;
+  armed_out := None;
+  Atomic.set dumped false
+
+(* ------------------------------------------------------------------ *)
+(* Loading *)
+
+type loaded = {
+  l_events : (int * event) list;
+  l_total : int;
+  l_dropped : int;
+  l_reason : string option;
+}
+
+let loaded_of_bundle j =
+  let* reason = str_field "reason" j in
+  let* l_total = int_field "total" j in
+  let* l_dropped = int_field "dropped" j in
+  let* entries = field "journal" j in
+  match entries with
+  | Json.Arr items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* seq = int_field "seq" item in
+        let* e = event_of_json item in
+        go ((seq, e) :: acc) rest
+    in
+    let* l_events = go [] items in
+    Ok { l_events; l_total; l_dropped; l_reason = Some reason }
+  | _ -> Error "field \"journal\": array expected"
+
+let loaded_of_jsonl header lines =
+  let* schema = str_field "schema" header in
+  if schema <> schema_name then
+    Error (Printf.sprintf "unexpected schema %S" schema)
+  else
+    let* version = int_field "version" header in
+    if version <> schema_version then
+      Error (Printf.sprintf "unsupported journal version %d" version)
+    else
+      let* l_total = int_field "total" header in
+      let* l_dropped = int_field "dropped" header in
+      let rec go acc lineno = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match Json.of_string line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok j ->
+            let* seq = int_field "seq" j in
+            let* e = event_of_json j in
+            go ((seq, e) :: acc) (lineno + 1) rest)
+      in
+      let* l_events = go [] 2 lines in
+      Ok { l_events; l_total; l_dropped; l_reason = None }
+
+let load_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty journal"
+  | first :: rest -> (
+    match Json.of_string first with
+    | Ok header when Json.member "schema" header = Some (Json.Str schema_name)
+      ->
+      loaded_of_jsonl header rest
+    | _ -> (
+      (* Not a JSONL header line: the whole document must be a
+         post-mortem bundle (typically pretty-printed). *)
+      match Json.of_string s with
+      | Error msg -> Error msg
+      | Ok j -> (
+        match Json.member "schema" j with
+        | Some (Json.Str name) when name = bundle_schema_name ->
+          loaded_of_bundle j
+        | Some (Json.Str name) ->
+          Error (Printf.sprintf "unexpected schema %S" name)
+        | _ -> Error "not a journal or post-mortem bundle")))
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> load_string s
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Queries (the [explain] CLI) *)
+
+let fit_check_count l =
+  List.fold_left
+    (fun n (_, e) -> match e with Fit_check _ -> n + 1 | _ -> n)
+    0 l.l_events
+
+let bump assoc key =
+  match List.assoc_opt key assoc with
+  | Some n -> (key, n + 1) :: List.remove_assoc key assoc
+  | None -> (key, 1) :: assoc
+
+let summary l =
+  let by_kind, reject_reasons =
+    List.fold_left
+      (fun (by_kind, rejects) (_, e) ->
+        let by_kind = bump by_kind (phase_of_event e, kind_of_event e) in
+        let rejects =
+          match e with
+          | Rejected { reason; _ } -> bump rejects reason
+          | Fit_check { fits = false; pins_ok; _ } ->
+            bump rejects (if pins_ok then "fit:convexity" else "fit:pins")
+          | _ -> rejects
+        in
+        (by_kind, rejects))
+      ([], []) l.l_events
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "journal: %d decisions (%d dropped by ring)\n" l.l_total
+       l.l_dropped);
+  (match l.l_reason with
+  | Some reason ->
+    Buffer.add_string b (Printf.sprintf "post-mortem reason: %s\n" reason)
+  | None -> ());
+  Buffer.add_char b '\n';
+  let sorted = List.sort compare by_kind in
+  Buffer.add_string b
+    (Metrics.render_table
+       ([ "phase"; "kind"; "count" ]
+       :: List.map
+            (fun ((phase, kind), n) -> [ phase; kind; string_of_int n ])
+            sorted));
+  if reject_reasons <> [] then begin
+    Buffer.add_string b "\nreject reasons\n";
+    Buffer.add_string b
+      (Metrics.render_table
+         ([ "reason"; "count" ]
+         :: List.map
+              (fun (reason, n) -> [ reason; string_of_int n ])
+              (List.sort compare reject_reasons)))
+  end;
+  Buffer.add_string b
+    (Printf.sprintf "\nparedown fit checks: %d\n" (fit_check_count l));
+  Buffer.contents b
+
+let render_event (seq, e) =
+  Format.asprintf "#%-6d %-10s %a" seq (phase_of_event e) pp_event e
+
+let why ~node l =
+  let hits =
+    List.filter (fun (_, e) -> List.mem node (nodes_of_event e)) l.l_events
+  in
+  if hits = [] then
+    Printf.sprintf "no recorded decision touched node %d\n" node
+  else
+    String.concat "" (List.map (fun hit -> render_event hit ^ "\n") hits)
+
+let diff a b =
+  let rec go = function
+    | [], [] ->
+      Printf.sprintf "identical (%d decisions)" (List.length a.l_events)
+    | (seq, e) :: _, [] ->
+      Printf.sprintf
+        "journals diverge at seq %d: B ends after %d decisions\n  A: %s" seq
+        (List.length b.l_events)
+        (render_event (seq, e))
+    | [], (seq, e) :: _ ->
+      Printf.sprintf
+        "journals diverge at seq %d: A ends after %d decisions\n  B: %s" seq
+        (List.length a.l_events)
+        (render_event (seq, e))
+    | ((sa, ea) as ha) :: ta, ((sb, eb) as hb) :: tb ->
+      if sa = sb && ea = eb then go (ta, tb)
+      else
+        Printf.sprintf "journals diverge at seq %d:\n  A: %s\n  B: %s"
+          (min sa sb) (render_event ha) (render_event hb)
+  in
+  go (a.l_events, b.l_events)

@@ -1,36 +1,45 @@
 let available_jobs () = Domain.recommended_domain_count ()
 
+let run_parallel ~jobs f items n =
+  let arr = Array.of_list items in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  (* Each index is claimed by exactly one domain (the atomic cursor)
+     and written once; Domain.join publishes the writes back to the
+     caller, so the plain [results] array needs no further
+     synchronisation. *)
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n && Atomic.get failure = None then begin
+      (match f arr.(i) with
+       | r -> results.(i) <- Some r
+       | exception e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+      worker ()
+    end
+  in
+  let domains =
+    List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join domains;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+
 let map ~jobs f items =
   let n = List.length items in
   if jobs <= 1 || n < 2 then List.map f items
-  else begin
-    let arr = Array.of_list items in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    (* Each index is claimed by exactly one domain (the atomic cursor)
-       and written once; Domain.join publishes the writes back to the
-       caller, so the plain [results] array needs no further
-       synchronisation. *)
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n && Atomic.get failure = None then begin
-        (match f arr.(i) with
-         | r -> results.(i) <- Some r
-         | exception e ->
-           let bt = Printexc.get_raw_backtrace () in
-           ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-        worker ()
-      end
-    in
-    let domains =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join domains;
-    match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None ->
-      Array.to_list results
-      |> List.map (function Some r -> r | None -> assert false)
-  end
+  else if Obs.Journal.enabled () then
+    (* Worker-domain journal emissions are captured per item and
+       appended in input (seed) order after the join, so a [--jobs N]
+       journal is byte-identical to the sequential one. *)
+    run_parallel ~jobs (fun x -> Obs.Journal.capture (fun () -> f x)) items n
+    |> List.map (fun (r, buf) ->
+           Obs.Journal.append buf;
+           r)
+  else run_parallel ~jobs f items n

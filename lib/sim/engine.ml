@@ -346,14 +346,24 @@ let settle ?(limit = 100_000) t =
   Obs.Trace.with_span "sim.settle" @@ fun () ->
   let t0 = Obs.Clock.now_ns () in
   let rec loop remaining =
-    if remaining = 0 then
+    if remaining = 0 then begin
+      let queue_depth = Event_queue.cardinal t.queue in
+      if Obs.Journal.enabled () then
+        Obs.Journal.emit
+          (Obs.Journal.Event_limit
+             { clock = t.clock; queue_depth; last_node = t.last_active });
+      Obs.Journal.note_failure
+        (Printf.sprintf
+           "simulation event limit exceeded (clock %d, %d events pending)"
+           t.clock queue_depth);
       raise
         (Event_limit_exceeded
            {
              clock = t.clock;
-             queue_depth = Event_queue.cardinal t.queue;
+             queue_depth;
              last_node = t.last_active;
            })
+    end
     else if step t then loop (remaining - 1)
     else begin
       Obs.Metrics.incr m_settles;
