@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml for
 # environments without Actions.
 
-.PHONY: all build test check bench tables faults verify-fuzz perf-baseline \
-	perf-smoke jobs-check journal-smoke clean
+.PHONY: all build test check bench tables faults reliability-smoke \
+	verify-fuzz perf-baseline perf-smoke jobs-check journal-smoke clean
 
 all: build
 
@@ -27,6 +27,15 @@ faults:
 
 bench:
 	dune exec bench/main.exe
+
+# Small fixed-seed reliability sweep: the λ grid and Pareto front over
+# Table 1 with a reduced trial count (doc/reliability.md).  The flight
+# recorder is armed so a simulation event-limit blowup inside the
+# Monte-Carlo replays leaves a post-mortem bundle CI uploads as an
+# artifact; on success no bundle is written.
+reliability-smoke:
+	PAREDOWN_FLIGHT_RECORD=paredown-postmortem.json \
+	  dune exec bin/run_experiments.exe -- reliability --trials 8
 
 # Verification fuzzing: every partition of a batch of random designs
 # through the three-tier verifier (doc/verification.md); exits nonzero
@@ -68,6 +77,10 @@ jobs-check:
 	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- scale --jobs 2 > scale-j2.txt
 	diff scale-j1.txt scale-j2.txt
 	rm -f scale-j1.txt scale-j2.txt
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- reliability --trials 8 --jobs 1 > rel-j1.txt
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- reliability --trials 8 --jobs 2 > rel-j2.txt
+	diff rel-j1.txt rel-j2.txt
+	rm -f rel-j1.txt rel-j2.txt
 
 # Provenance-journal smoke: journal a library-design partition, then
 # run every explain query over the file (doc/provenance.md).  explain

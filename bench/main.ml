@@ -310,6 +310,21 @@ let journal_tests =
                sweep));
     ]
 
+let reliability_tests =
+  (* The Monte-Carlo estimator alone, then the whole λ sweep whose later
+     modes should be nearly free — the gap between the two is what the
+     fingerprint memo cache buys. *)
+  let entry_gate = Designs.Library.entry_gate_detector in
+  let g = entry_gate.Designs.Design.network in
+  let cfg = Reliability.Estimator.default_config in
+  Test.make_grouped ~name:"reliability"
+    [
+      Test.make ~name:"estimate-entry-gate"
+        (Staged.stage (fun () -> Reliability.Estimator.estimate_network cfg g));
+      Test.make ~name:"sweep-entry-gate"
+        (Staged.stage (fun () -> Experiments.Reliability.run_design entry_gate));
+    ]
+
 let parse_tests =
   let source =
     Behavior.Ast.program_to_string
@@ -328,7 +343,7 @@ let all_tests =
     [
       kernel_tests; table1_tests; table2_tests; scale_tests; worstcase_tests;
       ablation_tests; codegen_tests; sim_tests; fault_tests; power_tests;
-      obs_tests; journal_tests; parse_tests;
+      reliability_tests; obs_tests; journal_tests; parse_tests;
     ]
 
 let run_benchmarks () =

@@ -474,6 +474,116 @@ let faults_cmd =
       const run $ obs_term $ design_opt $ seed_arg $ trials_arg $ drops_arg
       $ steps_arg $ csv_arg)
 
+(* reliability *)
+
+let family_conv =
+  let parse s =
+    match Reliability.Family.of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f -> Format.pp_print_string ppf (Reliability.Family.to_string f)
+    )
+
+let reliability_cmd =
+  let design_opt =
+    let doc =
+      "Library design name or netlist file; every Table 1 design when \
+       omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Master seed for the stimulus script and every trial's \
+                   fault plan; equal seeds reproduce the table byte for \
+                   byte.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 32
+         & info [ "trials" ] ~doc:"Monte-Carlo trials per scored solution.")
+  in
+  let family_arg =
+    Arg.(value
+         & opt family_conv Reliability.Estimator.default_config.family
+         & info [ "family" ] ~docv:"FAMILY"
+             ~doc:"Fault-plan family: $(b,drop:R), \
+                   $(b,chaos:DROP,DUP,CORRUPT,JITTER), or \
+                   $(b,brownout:R@T1,T2,...).")
+  in
+  let lambdas_arg =
+    Arg.(value & opt (list float) [ 0.; 1.; 4.; 16.; 64. ]
+         & info [ "lambdas" ] ~docv:"Λ"
+             ~doc:"Comma-separated λ values to sweep (blocks + λ × \
+                   expected severity).")
+  in
+  let show_arg =
+    Arg.(value & opt (some float) None
+         & info [ "show" ] ~docv:"λ"
+             ~doc:"Also print the reliability-weighted solution at this \
+                   λ (requires a single $(i,DESIGN)).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let run obs design seed trials family lambdas show csv =
+    with_obs obs @@ fun () ->
+    let estimator =
+      { Reliability.Estimator.default_config with seed; trials; family }
+    in
+    let config =
+      { Experiments.Reliability.default_config with estimator; lambdas }
+    in
+    let report =
+      match design with
+      | None -> Experiments.Reliability.run ~config ()
+      | Some d ->
+        let name, g = load_network d in
+        Experiments.Reliability.run_network ~config ~name g
+    in
+    print_string (Experiments.Reliability.to_table report);
+    print_endline (Experiments.Reliability.summary report);
+    (match show, design with
+     | Some lambda, Some d ->
+       let _, g = load_network d in
+       let cache = Reliability.Estimator.cache () in
+       let severity = Reliability.Estimator.scorer ~cache estimator g in
+       let wr =
+         Core.Paredown.run_weighted
+           ~weighted:{ Core.Paredown.lambda; lexicographic = false; severity }
+           g
+       in
+       Printf.printf "\nweighted solution at λ=%g (severity %.3f -> %.3f, \
+                      %d partition(s) dissolved):\n"
+         lambda wr.Core.Paredown.base_severity wr.Core.Paredown.severity
+         wr.Core.Paredown.dissolved;
+       print_solution g wr.Core.Paredown.solution
+     | Some _, None ->
+       failwith "--show needs a single DESIGN to refine"
+     | None, _ -> ());
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Experiments.Reliability.to_csv report)))
+      csv
+  in
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:"Sweep the reliability-weighted objective over λ under a \
+             seeded fault-plan family and print the cost/expected-\
+             degradation Pareto front (flat, λ-weighted, and \
+             lexicographic modes).")
+    Term.(
+      const run $ obs_term $ design_opt $ seed_arg $ trials_arg $ family_arg
+      $ lambdas_arg $ show_arg $ csv_arg)
+
 (* generate *)
 
 let generate_cmd =
@@ -732,4 +842,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
-            faults_cmd; generate_cmd; perf_cmd; explain_cmd ]))
+            faults_cmd; reliability_cmd; generate_cmd; perf_cmd;
+            explain_cmd ]))

@@ -125,6 +125,23 @@ let run_faults seed trials csv_out () =
     (fun path -> write_csv path (Experiments.Faults.to_csv rows))
     csv_out
 
+let run_reliability seed trials family jobs csv_out () =
+  print_header
+    "Reliability: cost vs expected degradation (λ sweep and Pareto front)";
+  in_metrics_scope @@ fun () ->
+  let estimator =
+    { Reliability.Estimator.default_config with seed; trials; family }
+  in
+  let config =
+    { Experiments.Reliability.default_config with estimator }
+  in
+  let report = Experiments.Reliability.run ~config ~jobs () in
+  print_string (Experiments.Reliability.to_table report);
+  print_endline (Experiments.Reliability.summary report);
+  Option.iter
+    (fun path -> write_csv path (Experiments.Reliability.to_csv report))
+    csv_out
+
 let run_fuzz seed seeds jobs csv_out show_metrics () =
   print_header
     "Verification fuzzing: three-tier Verify over random designs";
@@ -276,6 +293,39 @@ let fuzz_cmd =
              reported with a shrunk counterexample).")
     term
 
+let reliability_cmd =
+  let trials_arg =
+    Arg.(value & opt int 32
+         & info [ "trials" ] ~doc:"Monte-Carlo trials per scored solution.")
+  in
+  let family_arg =
+    let family_c =
+      Arg.conv
+        ( (fun s ->
+            match Reliability.Family.of_string s with
+            | Ok f -> Ok f
+            | Error e -> Error (`Msg e)),
+          fun ppf f ->
+            Format.pp_print_string ppf (Reliability.Family.to_string f) )
+    in
+    Arg.(value & opt family_c Reliability.Estimator.default_config.family
+         & info [ "family" ] ~docv:"FAMILY"
+             ~doc:"Fault-plan family: $(b,drop:R), \
+                   $(b,chaos:DROP,DUP,CORRUPT,JITTER), or \
+                   $(b,brownout:R@T1,T2,...).")
+  in
+  let term =
+    Term.(
+      const (fun seed trials family jobs csv ->
+          run_reliability seed trials family jobs csv ())
+      $ seed_arg 1 $ trials_arg $ family_arg $ jobs_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:"Sweep the reliability-weighted objective over λ and print \
+             the per-design cost/expected-degradation Pareto front.")
+    term
+
 let all_cmd =
   let term =
     Term.(
@@ -286,6 +336,8 @@ let all_cmd =
           run_ablation 7 50 20 ();
           run_power 23 200 ();
           run_faults 11 10 None ();
+          run_reliability 1 32
+            Reliability.Estimator.default_config.family jobs None ();
           run_fuzz 2005 25 jobs None true ())
       $ jobs_arg $ const ())
   in
@@ -303,4 +355,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
                     [ table1_cmd; table2_cmd; scale_cmd; ablation_cmd;
-                      power_cmd; faults_cmd; fuzz_cmd; all_cmd ]))
+                      power_cmd; faults_cmd; reliability_cmd; fuzz_cmd;
+                      all_cmd ]))

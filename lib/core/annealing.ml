@@ -20,6 +20,8 @@ type config = {
   initial_temperature : float;
   cooling : float;
   seed : int;
+  reliability : (Solution.t -> float) option;
+  lambda : float;
 }
 
 let default_config = {
@@ -29,6 +31,8 @@ let default_config = {
   initial_temperature = 2.0;
   cooling = 0.9995;
   seed = 1;
+  reliability = None;
+  lambda = 0.;
 }
 
 type result = {
@@ -54,10 +58,15 @@ let partition_of ~config g members =
     else None
 
 (* energy: the paper's objective, with cost as a continuous tie-break so
-   downhill moves are visible to the annealer *)
-let energy g solution =
+   downhill moves are visible to the annealer, plus the optional
+   reliability term *)
+let energy ~config g solution =
   float_of_int (Solution.total_inner_after g solution)
   +. (0.001 *. Solution.total_cost_after g solution)
+  +.
+  match config.reliability with
+  | Some severity -> config.lambda *. severity solution
+  | None -> 0.
 
 type move =
   | Grow       (* add an uncovered neighbour to a partition *)
@@ -206,7 +215,7 @@ let run ?(config = default_config) ?(start = Solution.empty) g =
         | None -> (current, current_energy, best, best_energy)
         | Some partitions ->
           let candidate = { Solution.partitions } in
-          let candidate_energy = energy g candidate in
+          let candidate_energy = energy ~config g candidate in
           let accept =
             candidate_energy <= current_energy
             || Prng.float rng 1.0
@@ -233,7 +242,7 @@ let run ?(config = default_config) ?(start = Solution.empty) g =
         best_energy (remaining - 1)
     end
   in
-  let start_energy = energy g start in
+  let start_energy = energy ~config g start in
   let best =
     anneal config.initial_temperature start start_energy start start_energy
       config.iterations

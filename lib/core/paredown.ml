@@ -402,3 +402,77 @@ let run ?(config = default_config) ?(record_trace = false) g =
       };
     trace = List.rev !trace;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Reliability-weighted mode.                                          *)
+
+let m_weighted_runs =
+  Obs.Metrics.counter "core.paredown.weighted_runs"
+    ~doc:"reliability-weighted decompositions performed"
+
+let m_weighted_dissolves =
+  Obs.Metrics.counter "core.paredown.weighted_dissolves"
+    ~doc:"partitions dissolved by reliability refinement"
+
+type weighted_config = {
+  lambda : float;
+  lexicographic : bool;
+  severity : Solution.t -> float;
+}
+
+let weighted_cost ~weighted g solution =
+  ( float_of_int (Solution.total_inner_after g solution),
+    weighted.severity solution )
+
+type weighted_result = {
+  base : result;
+  solution : Solution.t;
+  dissolved : int;
+  base_severity : float;
+  severity : float;
+}
+
+let run_weighted ?config ~weighted g =
+  Obs.Trace.with_span "paredown.run_weighted"
+    ~args:[ ("inner", string_of_int (Graph.inner_count g)) ]
+  @@ fun () ->
+  let base = run ?config g in
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      (Obs.Journal.Run_started
+         { phase = "paredown_weighted"; inner = Graph.inner_count g });
+  (* Strictly-better comparison on the chosen objective; strictness is
+     what guarantees the greedy loop stops. *)
+  let better (cand_blocks, cand_sev) (cur_blocks, cur_sev) =
+    if weighted.lexicographic then
+      cand_sev < cur_sev || (cand_sev = cur_sev && cand_blocks < cur_blocks)
+    else
+      cand_blocks +. (weighted.lambda *. cand_sev)
+      < cur_blocks +. (weighted.lambda *. cur_sev)
+  in
+  let remove_nth list index = List.filteri (fun i _ -> i <> index) list in
+  let rec refine solution cost dissolved =
+    let n = List.length solution.Solution.partitions in
+    let best = ref None in
+    for i = 0 to n - 1 do
+      let candidate =
+        { Solution.partitions = remove_nth solution.Solution.partitions i }
+      in
+      let candidate_cost = weighted_cost ~weighted g candidate in
+      let beats_incumbent =
+        match !best with
+        | Some (_, incumbent_cost) -> better candidate_cost incumbent_cost
+        | None -> better candidate_cost cost
+      in
+      if beats_incumbent then best := Some (candidate, candidate_cost)
+    done;
+    match !best with
+    | Some (candidate, candidate_cost) ->
+      Obs.Metrics.incr m_weighted_dissolves;
+      refine candidate candidate_cost (dissolved + 1)
+    | None -> (solution, cost, dissolved)
+  in
+  let base_cost = weighted_cost ~weighted g base.solution in
+  let solution, (_, severity), dissolved = refine base.solution base_cost 0 in
+  Obs.Metrics.incr m_weighted_runs;
+  { base; solution; dissolved; base_severity = snd base_cost; severity }

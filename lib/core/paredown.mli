@@ -80,3 +80,50 @@ val removal_choice :
 val run : ?config:config -> ?record_trace:bool -> Graph.t -> result
 (** Partition the graph's eligible inner blocks.  The graph must be
     acyclic (levels are needed for tie-breaking). *)
+
+(** {1 Reliability-weighted mode}
+
+    The paper's objective counts blocks only; a deployment that also
+    cares how the synthesised system degrades under faults wants to
+    trade blocks against expected severity.  [Core] cannot depend on the
+    simulator, so the severity of a candidate solution arrives as a
+    closure — in practice [Reliability.Estimator.scorer], which memoizes
+    Monte-Carlo estimates behind a canonical partition fingerprint. *)
+
+type weighted_config = {
+  lambda : float;
+      (** exchange rate: how many expected-severity points one saved
+          block is worth.  0 restores the paper's objective exactly. *)
+  lexicographic : bool;
+      (** [true]: minimise (severity, blocks) lexicographically instead
+          of the weighted sum — "most reliable first, then smallest";
+        [lambda] is ignored *)
+  severity : Solution.t -> float;
+      (** expected degradation of a candidate solution, in [[0, 1]] *)
+}
+
+val weighted_cost :
+  weighted:weighted_config -> Graph.t -> Solution.t -> float * float
+(** [(blocks, severity)] of a solution under the weighted objective —
+    the two axes every caller (refinement loop, Pareto sweep, tests)
+    compares on. *)
+
+type weighted_result = {
+  base : result;  (** the unmodified paper run (the λ = 0 answer) *)
+  solution : Solution.t;  (** after reliability refinement *)
+  dissolved : int;  (** partitions the refinement returned to blocks *)
+  base_severity : float;  (** severity of [base.solution] *)
+  severity : float;  (** severity of [solution] *)
+}
+
+val run_weighted :
+  ?config:config -> weighted:weighted_config -> Graph.t -> weighted_result
+(** {!run}, then greedy dissolve refinement: repeatedly evaluate every
+    single-partition dissolution of the current solution and commit the
+    one that most improves the weighted (or lexicographic) objective,
+    stopping when none does.  Dissolving strictly shrinks the partition
+    list, so the loop terminates after at most [programmable_count]
+    rounds and the result is deterministic given a deterministic
+    [severity].  With [lambda = 0.] (and [lexicographic = false]) no
+    dissolution can pay for its block increase, so [solution] is
+    [base.solution] unchanged. *)

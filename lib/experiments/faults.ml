@@ -61,8 +61,11 @@ let run_network ?(config = default_config) ~name g =
   List.map
     (fun drop ->
       let tally_of net =
+        (* Per-trial injection stats aggregate through Fault.merge (the
+           field-wise sum), not ad-hoc int accumulation, so the row can
+           report any fault class later without touching this loop. *)
         let rec loop t injected remaining =
-          if remaining = 0 then (t, injected)
+          if remaining = 0 then (t, Sim.Fault.total injected)
           else begin
             let plan =
               Sim.Fault.drop_all ~seed:(Prng.int seed_rng 1_000_000_000) drop
@@ -73,11 +76,11 @@ let run_network ?(config = default_config) ~name g =
             in
             loop
               (count run.Sim.Degrade.outcome t)
-              (injected + Sim.Fault.total run.Sim.Degrade.injected)
+              (Sim.Fault.merge injected run.Sim.Degrade.injected)
               (remaining - 1)
           end
         in
-        loop empty_tally 0 config.trials
+        loop empty_tally Sim.Fault.zero config.trials
       in
       let flat, flat_injected = tally_of g in
       let part, part_injected = tally_of g' in

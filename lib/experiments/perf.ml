@@ -136,6 +136,13 @@ let groups =
           let engine = Sim.Engine.create ~faults g in
           keep (Sim.Stimulus.settled_outputs engine script);
           keep (Sim.Degrade.classify ~faults g script)) };
+    { name = "reliability";
+      doc = "λ sweep with the memoized Monte-Carlo estimator (Entry Gate)";
+      run =
+        (fun () ->
+          (* [Reliability] here is the sibling experiments module, whose
+             sweep covers estimator, cache, and weighted search at once. *)
+          keep (Reliability.run_design Designs.Library.entry_gate_detector)) };
     { name = "power"; doc = "packet-count power proxy on Podium Timer 3";
       run =
         (fun () ->

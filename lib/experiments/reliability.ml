@@ -1,0 +1,177 @@
+(* This module shadows the reliability library's name inside
+   [experiments], so the library is reached through the dune root
+   module. *)
+module Estimator = Libs.Reliability.Estimator
+
+type config = {
+  estimator : Estimator.config;
+  lambdas : float list;
+  include_lexicographic : bool;
+}
+
+let default_config =
+  {
+    estimator = Estimator.default_config;
+    lambdas = [ 0.; 1.; 4.; 16.; 64. ];
+    include_lexicographic = true;
+  }
+
+type mode =
+  | Flat
+  | Weighted of float
+  | Lexicographic
+
+let mode_to_string = function
+  | Flat -> "flat"
+  | Weighted l -> Printf.sprintf "λ=%g" l
+  | Lexicographic -> "lex"
+
+type row = {
+  design : string;
+  mode : mode;
+  blocks : int;
+  partitions : int;
+  dissolved : int;
+  severity : float;
+  stderr : float;
+  on_front : bool;
+}
+
+type report = {
+  rows : row list;
+  cache : Estimator.cache_stats;
+}
+
+(* Pareto-optimal within one design's sweep: no other row is at least as
+   good on both axes and strictly better on one.  Coincident points are
+   both kept — neither dominates. *)
+let mark_front rows =
+  let dominates a b =
+    a.blocks <= b.blocks && a.severity <= b.severity
+    && (a.blocks < b.blocks || a.severity < b.severity)
+  in
+  List.map
+    (fun r ->
+      { r with on_front = not (List.exists (fun o -> dominates o r) rows) })
+    rows
+
+let run_network ?(config = default_config) ~name g =
+  let cache = Estimator.cache () in
+  let scorer = Estimator.scorer ~cache config.estimator g in
+  let row_of mode solution dissolved =
+    (* a cache hit whenever the mode's search already scored its own
+       answer, which run_weighted always has *)
+    let est = Estimator.estimate_solution ~cache config.estimator g solution in
+    {
+      design = name;
+      mode;
+      blocks = Core.Solution.total_inner_after g solution;
+      partitions = Core.Solution.programmable_count solution;
+      dissolved;
+      severity = est.Estimator.mean;
+      stderr = est.Estimator.stderr;
+      on_front = false;
+    }
+  in
+  let refined ~mode ~lambda ~lexicographic =
+    let wr =
+      Core.Paredown.run_weighted
+        ~weighted:{ Core.Paredown.lambda; lexicographic; severity = scorer }
+        g
+    in
+    row_of mode wr.Core.Paredown.solution wr.Core.Paredown.dissolved
+  in
+  let rows =
+    (row_of Flat Core.Solution.empty 0
+     :: List.map
+          (fun lambda ->
+            refined ~mode:(Weighted lambda) ~lambda ~lexicographic:false)
+          config.lambdas)
+    @
+    if config.include_lexicographic then
+      [ refined ~mode:Lexicographic ~lambda:0. ~lexicographic:true ]
+    else []
+  in
+  { rows = mark_front rows; cache = Estimator.cache_stats cache }
+
+let run_design ?config d =
+  run_network ?config ~name:d.Designs.Design.name d.Designs.Design.network
+
+let run ?(config = default_config) ?(jobs = 1) () =
+  let reports =
+    Parallel.map ~jobs
+      (fun d -> run_design ~config d)
+      Designs.Library.table1
+  in
+  List.fold_left
+    (fun acc r ->
+      {
+        rows = acc.rows @ r.rows;
+        cache =
+          {
+            Estimator.hits = acc.cache.Estimator.hits + r.cache.Estimator.hits;
+            misses = acc.cache.Estimator.misses + r.cache.Estimator.misses;
+            entries = acc.cache.Estimator.entries + r.cache.Estimator.entries;
+          };
+      })
+    { rows = []; cache = { Estimator.hits = 0; misses = 0; entries = 0 } }
+    reports
+
+let headers =
+  [
+    "Design"; "Mode"; "Blocks"; "Prog"; "Dissolved"; "Severity"; "±SE";
+    "Front";
+  ]
+
+let row_cells r =
+  [
+    r.design;
+    mode_to_string r.mode;
+    string_of_int r.blocks;
+    string_of_int r.partitions;
+    string_of_int r.dissolved;
+    Printf.sprintf "%.3f" r.severity;
+    Printf.sprintf "%.3f" r.stderr;
+    (if r.on_front then "*" else "");
+  ]
+
+let to_table report =
+  Report.Table.render ~headers ~rows:(List.map row_cells report.rows) ()
+
+let to_csv report =
+  Report.Table.render_csv ~headers ~rows:(List.map row_cells report.rows)
+
+let summary report =
+  let designs =
+    List.sort_uniq String.compare (List.map (fun r -> r.design) report.rows)
+  in
+  let improved =
+    List.filter
+      (fun d ->
+        let of_mode m =
+          List.find_opt
+            (fun r -> r.design = d && r.mode = m)
+            report.rows
+        in
+        match of_mode (Weighted 0.) with
+        | None -> false
+        | Some base ->
+          List.exists
+            (fun r ->
+              r.design = d && r.mode <> Flat && r.severity < base.severity)
+            report.rows)
+      designs
+  in
+  let front =
+    List.length (List.filter (fun r -> r.on_front) report.rows)
+  in
+  let lookups = report.cache.Estimator.hits + report.cache.Estimator.misses in
+  Printf.sprintf
+    "reliability-aware modes strictly improved severity on %d/%d designs; \
+     %d Pareto points across %d rows; cache hit rate %.0f %% (%d/%d)"
+    (List.length improved) (List.length designs) front
+    (List.length report.rows)
+    (if lookups = 0 then 0.
+     else 100. *. float_of_int report.cache.Estimator.hits
+          /. float_of_int lookups)
+    report.cache.Estimator.hits lookups

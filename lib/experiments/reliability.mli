@@ -1,0 +1,72 @@
+(** The cost/reliability trade-off: a λ sweep over Table 1.
+
+    For each design this experiment scores the flat network, the paper's
+    PareDown answer (λ = 0), reliability-weighted refinements at each
+    λ in [config.lambdas], and the lexicographic most-reliable-first
+    variant — all under one fault-plan family — then marks which
+    (blocks, expected severity) points sit on the per-design Pareto
+    front.  One memo cache is shared across a design's whole sweep, so
+    every mode after the first re-scores its candidates for free (the
+    cache hit rate is part of the {!report} and asserted positive in the
+    tests).
+
+    Deterministic: rows are a pure function of the configuration, and
+    [run ~jobs] fans out per design with the usual pre-ordered
+    {!Parallel.map} contract, so tables are byte-identical across
+    [--jobs N]. *)
+
+type config = {
+  estimator : Libs.Reliability.Estimator.config;
+      (** fault-plan family, trial count, and stimulus shape *)
+  lambdas : float list;  (** weighted-objective sweep points *)
+  include_lexicographic : bool;  (** append the lexicographic mode *)
+}
+
+val default_config : config
+(** λ ∈ {0, 1, 4, 16, 64} and the lexicographic mode, over
+    {!Libs.Reliability.Estimator.default_config}.  The top of the grid
+    is deliberately high: a dissolve costs a whole block, so λ must
+    exceed 1/Δseverity before reliability can buy one (≈32 on the
+    Entry Gate Detector, the seeded counterexample where the paper's
+    merge is the less reliable answer). *)
+
+type mode =
+  | Flat  (** the unpartitioned network (every block pre-defined) *)
+  | Weighted of float  (** [run_weighted] at this λ *)
+  | Lexicographic  (** minimise (severity, blocks) *)
+
+val mode_to_string : mode -> string
+(** ["flat"], ["λ=2"], ["lex"]. *)
+
+type row = {
+  design : string;
+  mode : mode;
+  blocks : int;  (** Inner Blocks (Total) — the paper's cost axis *)
+  partitions : int;
+  dissolved : int;  (** partitions the refinement gave back *)
+  severity : float;  (** expected degradation, the reliability axis *)
+  stderr : float;
+  on_front : bool;  (** Pareto-optimal among this design's rows *)
+}
+
+type report = {
+  rows : row list;
+  cache : Libs.Reliability.Estimator.cache_stats;  (** summed over designs *)
+}
+
+val run_network : ?config:config -> name:string -> Netlist.Graph.t -> report
+(** One design's whole sweep over a fresh shared cache. *)
+
+val run_design : ?config:config -> Designs.Design.t -> report
+
+val run : ?config:config -> ?jobs:int -> unit -> report
+(** Every Table 1 design, fanned out per design over [jobs] domains
+    (default 1). *)
+
+val to_table : report -> string
+val to_csv : report -> string
+
+val summary : report -> string
+(** One line: on how many designs a reliability-aware mode strictly
+    beat the λ = 0 severity, the total front size, and the cache hit
+    rate. *)

@@ -31,6 +31,12 @@ type event =
   | Verify_tier of { members : int list; tier : string; detail : string }
   | Cosim_shrink of { seed : int; round : int; steps : int }
   | Event_limit of { clock : int; queue_depth : int; last_node : int option }
+  | Reliability_scored of {
+      partitions : int;
+      trials : int;
+      severity : float;
+      cache_hit : bool;
+    }
 
 let phase_of_event = function
   | Run_started { phase; _ } | Deadline_expired { phase; _ } -> phase
@@ -41,6 +47,7 @@ let phase_of_event = function
   | Verify_tier _ -> "verify"
   | Cosim_shrink _ -> "cosim"
   | Event_limit _ -> "sim"
+  | Reliability_scored _ -> "reliability"
 
 let kind_of_event = function
   | Run_started _ -> "run_started"
@@ -56,6 +63,7 @@ let kind_of_event = function
   | Verify_tier _ -> "verify_tier"
   | Cosim_shrink _ -> "cosim_shrink"
   | Event_limit _ -> "event_limit"
+  | Reliability_scored _ -> "reliability_scored"
 
 let nodes_of_event = function
   | Candidate_started { members } -> members
@@ -63,7 +71,8 @@ let nodes_of_event = function
   | Accepted { members; _ } | Verify_tier { members; _ } -> members
   | Event_limit { last_node = Some node; _ } -> [ node ]
   | Run_started _ | Fit_check _ | Anneal_move _ | Pruned _ | Exhaustive_best _
-  | Deadline_expired _ | Cosim_shrink _ | Event_limit { last_node = None; _ } ->
+  | Deadline_expired _ | Cosim_shrink _ | Event_limit { last_node = None; _ }
+  | Reliability_scored _ ->
     []
 
 let pp_members ppf members =
@@ -115,6 +124,12 @@ let pp_event ppf = function
   | Event_limit { clock; queue_depth; last_node } ->
     Format.fprintf ppf "event limit at clock %d (queue %d, last node %a)" clock
       queue_depth pp_opt_int last_node
+  | Reliability_scored { partitions; trials; severity; cache_hit } ->
+    Format.fprintf ppf
+      "reliability scored: %d partitions -> severity %g (%s)" partitions
+      severity
+      (if cache_hit then "cache hit"
+       else Printf.sprintf "%d trials" trials)
 
 (* ------------------------------------------------------------------ *)
 (* Storage: a growable array that, once it reaches a positive
@@ -264,6 +279,13 @@ let fields_of_event = function
       ("clock", num clock);
       ("queue_depth", num queue_depth);
       ("last_node", opt_num last_node);
+    ]
+  | Reliability_scored { partitions; trials; severity; cache_hit } ->
+    [
+      ("partitions", num partitions);
+      ("trials", num trials);
+      ("severity", Json.Num severity);
+      ("cache_hit", Json.Bool cache_hit);
     ]
 
 let json_of_event ~seq e =
@@ -426,6 +448,12 @@ let event_of_json j =
     let* queue_depth = int_field "queue_depth" j in
     let* last_node = opt_int_field "last_node" j in
     Ok (Event_limit { clock; queue_depth; last_node })
+  | "reliability_scored" ->
+    let* partitions = int_field "partitions" j in
+    let* trials = int_field "trials" j in
+    let* severity = float_field "severity" j in
+    let* cache_hit = bool_field "cache_hit" j in
+    Ok (Reliability_scored { partitions; trials; severity; cache_hit })
   | k -> Error (Printf.sprintf "unknown event kind %S" k)
 
 (* ------------------------------------------------------------------ *)

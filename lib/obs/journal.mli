@@ -79,10 +79,21 @@ type event =
       (** Cosim: counterexample length after a delta-debugging round *)
   | Event_limit of { clock : int; queue_depth : int; last_node : int option }
       (** Sim: the engine hit its settle event limit *)
+  | Reliability_scored of {
+      partitions : int;
+      trials : int;
+      severity : float;
+      cache_hit : bool;
+    }
+      (** Reliability: a candidate solution's expected degradation was
+          consulted by the Monte-Carlo estimator — [trials] is 0 and
+          [cache_hit] true when the canonical partition fingerprint
+          resolved in the memo cache without re-simulating *)
 
 val phase_of_event : event -> string
 (** ["paredown"], ["exhaustive"], ["annealing"], ["verify"], ["cosim"],
-    ["sim"], or the [Run_started]/[Deadline_expired] payload phase. *)
+    ["sim"], ["reliability"], or the [Run_started]/[Deadline_expired]
+    payload phase. *)
 
 val kind_of_event : event -> string
 (** Stable snake_case tag, e.g. ["fit_check"] — the JSONL [kind] field. *)

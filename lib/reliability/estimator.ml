@@ -1,0 +1,210 @@
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+
+let m_estimates =
+  Obs.Metrics.counter "reliability.estimates"
+    ~doc:"Monte-Carlo estimates actually simulated (cache misses included)"
+
+let m_trials =
+  Obs.Metrics.counter "reliability.trials"
+    ~doc:"faulty replays simulated across all estimates"
+
+let m_cache_hits =
+  Obs.Metrics.counter "reliability.cache_hits"
+    ~doc:"solution scores served from the fingerprint memo cache"
+
+let m_cache_misses =
+  Obs.Metrics.counter "reliability.cache_misses"
+    ~doc:"solution scores that had to simulate"
+
+let h_score_ns =
+  Obs.Metrics.histogram "reliability.score_ns"
+    ~doc:"wall time per simulated estimate"
+
+type config = {
+  seed : int;
+  trials : int;
+  family : Family.t;
+  steps : int;
+  spacing : int;
+  settle_limit : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    trials = 32;
+    family = Family.Brownout { rate = 0.3; ticks = [ 40; 110; 180 ] };
+    steps = 12;
+    spacing = 30;
+    settle_limit = 100_000;
+  }
+
+type estimate = {
+  trials : int;
+  identical : int;
+  recovered : int;
+  wrong : int;
+  diverged : int;
+  mean : float;
+  stderr : float;
+  lo : float;
+  hi : float;
+  injected : Sim.Fault.stats;
+}
+
+let pp_estimate ppf e =
+  Format.fprintf ppf "%.3f ±%.3f (ok %d gl %d wr %d dv %d / %d)" e.mean
+    e.stderr e.identical e.recovered e.wrong e.diverged e.trials
+
+let script config g =
+  (* A distinct stream from the trial seeds: advancing one must not
+     silently reshape the other. *)
+  let rng = Prng.create (config.seed * 2 + 1) in
+  Sim.Stimulus.random ~rng ~sensors:(Graph.sensors g) ~steps:config.steps
+    ~spacing:config.spacing
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let estimate_network ?(jobs = 1) (config : config) g =
+  if config.trials <= 0 then invalid_arg "Estimator: trials must be positive";
+  let t0 = Obs.Clock.now_ns () in
+  let script = script config g in
+  let reference = Sim.Degrade.reference g script in
+  (* Seeds are pre-drawn and plans pre-built on this domain, so the
+     fan-out below receives fully determined work items in input order:
+     the estimate cannot depend on [jobs]. *)
+  let seed_rng = Prng.create config.seed in
+  (* explicit recursion: List.init's application order is unspecified,
+     and the seed stream must be consumed in trial order *)
+  let rec draw n acc =
+    if n = 0 then List.rev acc
+    else
+      draw (n - 1)
+        (Family.plan config.family ~seed:(Prng.int seed_rng 0x3FFF_FFFF) g
+         :: acc)
+  in
+  let plans = draw config.trials [] in
+  let runs =
+    Parallel.map ~jobs
+      (fun faults ->
+        Sim.Degrade.classify_against ~settle_limit:config.settle_limit
+          ~reference g script ~faults)
+      plans
+  in
+  let count o =
+    List.length (List.filter (fun r -> r.Sim.Degrade.outcome = o) runs)
+  in
+  let scores =
+    List.map (fun r -> Sim.Degrade.score r.Sim.Degrade.outcome) runs
+  in
+  let n = float_of_int config.trials in
+  let mean = List.fold_left ( +. ) 0. scores /. n in
+  let stderr =
+    if config.trials < 2 then 0.
+    else
+      let ss =
+        List.fold_left (fun acc s -> acc +. ((s -. mean) ** 2.)) 0. scores
+      in
+      sqrt (ss /. (n -. 1.) /. n)
+  in
+  let injected =
+    List.fold_left
+      (fun acc r -> Sim.Fault.merge acc r.Sim.Degrade.injected)
+      Sim.Fault.zero runs
+  in
+  Obs.Metrics.incr m_estimates;
+  Obs.Metrics.add m_trials config.trials;
+  Obs.Histogram.observe h_score_ns
+    (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
+  {
+    trials = config.trials;
+    identical = count Sim.Degrade.Identical;
+    recovered = count Sim.Degrade.Glitch_recovered;
+    wrong = count Sim.Degrade.Wrong_value;
+    diverged = count Sim.Degrade.Diverged;
+    mean;
+    stderr;
+    lo = clamp01 (mean -. (1.96 *. stderr));
+    hi = clamp01 (mean +. (1.96 *. stderr));
+    injected;
+  }
+
+(* --- Memoized solution scoring --------------------------------------- *)
+
+type cache = {
+  table : (string, estimate) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_stats (c : cache) =
+  { hits = c.hits; misses = c.misses; entries = Hashtbl.length c.table }
+
+let min_member p = Node_id.Set.min_elt p.Core.Partition.members
+
+(* Replace is order-sensitive only in the node ids it mints, but those
+   ids decide which blocks a Brownout plan resets — so the same
+   partition set must always be rewritten in the same order for equal
+   fingerprints to name equal estimates. *)
+let canonicalize solution =
+  {
+    Core.Solution.partitions =
+      List.sort
+        (fun a b -> Node_id.compare (min_member a) (min_member b))
+        solution.Core.Solution.partitions;
+  }
+
+let fingerprint config g solution =
+  let partition p =
+    Printf.sprintf "{%s}/%s"
+      (String.concat ","
+         (List.map Node_id.to_string
+            (Node_id.Set.elements p.Core.Partition.members)))
+      (Core.Shape.to_string p.Core.Partition.shape)
+  in
+  String.concat "|"
+    [
+      Family.to_string config.family;
+      string_of_int config.seed;
+      string_of_int config.trials;
+      string_of_int config.steps;
+      string_of_int config.spacing;
+      string_of_int config.settle_limit;
+      Digest.to_hex (Digest.string (Netlist.Textio.to_string g));
+      String.concat ";"
+        (List.map partition (canonicalize solution).Core.Solution.partitions);
+    ]
+
+let journal_scored ~partitions ~trials ~severity ~cache_hit =
+  if Obs.Journal.enabled () then
+    Obs.Journal.emit
+      (Obs.Journal.Reliability_scored
+         { partitions; trials; severity; cache_hit })
+
+let estimate_solution ?(jobs = 1) ~cache config g solution =
+  let solution = canonicalize solution in
+  let partitions = Core.Solution.programmable_count solution in
+  let key = fingerprint config g solution in
+  match Hashtbl.find_opt cache.table key with
+  | Some est ->
+    cache.hits <- cache.hits + 1;
+    Obs.Metrics.incr m_cache_hits;
+    journal_scored ~partitions ~trials:0 ~severity:est.mean ~cache_hit:true;
+    est
+  | None ->
+    let rewritten = (Codegen.Replace.apply g solution).Codegen.Replace.network in
+    let est = estimate_network ~jobs config rewritten in
+    Hashtbl.replace cache.table key est;
+    cache.misses <- cache.misses + 1;
+    Obs.Metrics.incr m_cache_misses;
+    journal_scored ~partitions ~trials:est.trials ~severity:est.mean
+      ~cache_hit:false;
+    est
+
+let scorer ?jobs ~cache config g solution =
+  (estimate_solution ?jobs ~cache config g solution).mean

@@ -1,0 +1,105 @@
+(** Deterministic Monte-Carlo estimation of expected degradation.
+
+    A candidate partitioning is scored by synthesising it
+    ({!Codegen.Replace.apply}), replaying one reproducible stimulus
+    script under [trials] independently seeded instantiations of a
+    {!Family.t}, classifying each replay with
+    {!Sim.Degrade.classify_against}, and averaging the per-trial
+    {!Sim.Degrade.score}s.  The result is the {e expected degradation}
+    in [[0, 1]] — 0 when every trial absorbed its faults, 1 when every
+    trial livelocked — together with a normal-approximation confidence
+    interval.
+
+    Determinism: trial seeds are pre-drawn from one PRNG stream before
+    any fan-out, plans are pure functions of (family, seed, graph), and
+    {!Parallel.map} returns results in input order — so an estimate is a
+    pure function of (config, network) and byte-identical across
+    [--jobs N].
+
+    Caching: scoring is the expensive step of reliability-aware search
+    (2 + trials full simulations per candidate), and both the λ sweep
+    and the weighted searches revisit the same partitionings, so
+    {!estimate_solution} memoizes behind {!fingerprint} — a canonical
+    rendering of (config, network digest, sorted partitions).  The
+    cache is shared across λ values on purpose: λ only reweights the
+    objective, it never changes a partition's severity. *)
+
+module Graph = Netlist.Graph
+
+type config = {
+  seed : int;  (** root seed for the stimulus script and the trial seeds *)
+  trials : int;  (** Monte-Carlo sample size (must be positive) *)
+  family : Family.t;  (** fault-plan family instantiated per trial *)
+  steps : int;  (** stimulus script length (sensor flips) *)
+  spacing : int;  (** maximum ticks between flips *)
+  settle_limit : int;  (** per-step event budget of the faulty replays *)
+}
+
+val default_config : config
+(** 32 trials of [brownout:0.3@40,110,180] over a 12-flip script
+    (spacing 30), seed 1, settle limit 100_000. *)
+
+type estimate = {
+  trials : int;
+  identical : int;
+  recovered : int;
+  wrong : int;
+  diverged : int;  (** per-outcome trial counts; they sum to [trials] *)
+  mean : float;  (** expected degradation: average per-trial score *)
+  stderr : float;  (** standard error of [mean] (0 with one trial) *)
+  lo : float;
+  hi : float;  (** 95% normal-approximation interval, clamped to [0,1] *)
+  injected : Sim.Fault.stats;  (** faults that struck, summed over trials *)
+}
+
+val pp_estimate : Format.formatter -> estimate -> unit
+(** e.g. ["0.203 ±0.071 (ok 22 gl 6 wr 4 dv 0 / 32)"]. *)
+
+val script : config -> Graph.t -> Sim.Stimulus.script
+(** The stimulus script the estimator replays: [Stimulus.random] over
+    the network's sensors, derived from [config.seed].  Sensors keep
+    their node ids under synthesis rewriting, so the script built from a
+    flat design drives its synthesised counterpart unchanged. *)
+
+val estimate_network : ?jobs:int -> config -> Graph.t -> estimate
+(** Score a network as-is (no rewriting): one clean reference run, then
+    [trials] faulty replays fanned out over [jobs] domains (default 1). *)
+
+(** {1 The memo cache} *)
+
+type cache
+
+val cache : unit -> cache
+(** A fresh cache.  Not thread-safe: consult it from the main domain
+    only (the trial fan-out below it is where parallelism lives). *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_stats : cache -> cache_stats
+
+val fingerprint : config -> Graph.t -> Core.Solution.t -> string
+(** Canonical cache key: the config's fields, a digest of the network's
+    textual form, and the partitions sorted by smallest member with
+    their shapes.  Two solutions listing the same partitions in
+    different orders fingerprint identically — and are rewritten in that
+    same canonical order, so equal fingerprints really do name equal
+    estimates. *)
+
+val estimate_solution :
+  ?jobs:int -> cache:cache -> config -> Graph.t -> Core.Solution.t ->
+  estimate
+(** Synthesise [solution] on the flat network and {!estimate_network}
+    the rewritten result, memoized behind {!fingerprint}.  Emits a
+    [Reliability_scored] journal event per call (with [trials = 0] and
+    [cache_hit = true] on a memo hit) and maintains the
+    [reliability.cache_hits]/[reliability.cache_misses] counters and the
+    [reliability.trials] total.  The empty solution scores the flat
+    network itself. *)
+
+val scorer :
+  ?jobs:int -> cache:cache -> config -> Graph.t ->
+  Core.Solution.t -> float
+(** [scorer ~cache config g] is the severity closure the weighted
+    searches take: [fun s -> (estimate_solution ~cache config g s).mean].
+    Partially applied once per run so every evaluation shares the
+    cache. *)

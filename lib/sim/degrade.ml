@@ -1,4 +1,5 @@
 module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
 
 let m_runs =
   Obs.Metrics.counter "sim.degrade.runs" ~doc:"degradation runs classified"
@@ -17,6 +18,15 @@ let severity = function
   | Glitch_recovered -> 1
   | Wrong_value -> 2
   | Diverged -> 3
+
+(* The monotone [0,1] mapping the reliability objective averages; the
+   spacing (0, 1/4, 3/4, 1) weights the recoverable/unrecoverable
+   boundary over the wrong/diverged one.  See the interface. *)
+let score = function
+  | Identical -> 0.
+  | Glitch_recovered -> 0.25
+  | Wrong_value -> 0.75
+  | Diverged -> 1.
 
 let outcome_to_string = function
   | Identical -> "identical"
@@ -38,6 +48,7 @@ type run = {
   packets : int;
   mismatched_steps : int;
   steps : int;
+  settle_limit : int;
 }
 
 let same_outputs a b =
@@ -66,9 +77,16 @@ let faulty_observations ~settle_limit engine script =
   in
   loop [] ordered
 
-let classify_against ~tie_order ~settle_limit ~reference ~faults g script =
+type reference = {
+  ref_tie_order : Engine.tie_order;
+  ref_outputs : (int * (Node_id.t * Behavior.Ast.value) list) list;
+}
+
+let classify_with ~settle_limit ~reference:{ ref_tie_order; ref_outputs }
+    ~faults g script =
+  let reference = ref_outputs in
   Obs.Metrics.incr m_runs;
-  let engine = Engine.create ~tie_order ~faults g in
+  let engine = Engine.create ~tie_order:ref_tie_order ~faults g in
   let observed, diverged = faulty_observations ~settle_limit engine script in
   let injected =
     match Engine.fault_stats engine with
@@ -102,21 +120,28 @@ let classify_against ~tie_order ~settle_limit ~reference ~faults g script =
     packets = Engine.packet_count engine;
     mismatched_steps = compared_mismatches + max 0 unobserved;
     steps;
+    settle_limit;
   }
 
-let clean_reference ~tie_order g script =
-  Stimulus.settled_outputs (Engine.create ~tie_order g) script
+let reference ?(tie_order = Engine.Fifo) g script =
+  {
+    ref_tie_order = tie_order;
+    ref_outputs =
+      Stimulus.settled_outputs (Engine.create ~tie_order g) script;
+  }
+
+let classify_against ?(settle_limit = 100_000) ~reference g script ~faults =
+  classify_with ~settle_limit ~reference ~faults g script
 
 let classify ?(tie_order = Engine.Fifo) ?(settle_limit = 100_000) ~faults g
     script =
-  let reference = clean_reference ~tie_order g script in
-  classify_against ~tie_order ~settle_limit ~reference ~faults g script
+  let reference = reference ~tie_order g script in
+  classify_with ~settle_limit ~reference ~faults g script
 
 let sweep ?(tie_order = Engine.Fifo) ?(settle_limit = 100_000) ~plans g
     script =
-  let reference = clean_reference ~tie_order g script in
+  let reference = reference ~tie_order g script in
   List.map
     (fun (name, faults) ->
-      (name, classify_against ~tie_order ~settle_limit ~reference ~faults g
-         script))
+      (name, classify_with ~settle_limit ~reference ~faults g script))
     plans

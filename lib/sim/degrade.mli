@@ -32,6 +32,21 @@ type outcome =
 val severity : outcome -> int
 (** 0 for {!Identical} up to 3 for {!Diverged}. *)
 
+val score : outcome -> float
+(** The degradation score the reliability objective averages: a
+    monotone mapping of {!severity} into [[0, 1]] —
+
+    - {!Identical} [-> 0.] (the faults were absorbed);
+    - {!Glitch_recovered} [-> 0.25] (transient, self-healed);
+    - {!Wrong_value} [-> 0.75] (settled but wrong — much worse than a
+      recovered glitch, slightly better than never settling);
+    - {!Diverged} [-> 1.] (livelock).
+
+    Monotone in {!severity}: [severity a <= severity b] iff
+    [score a <= score b].  The uneven spacing encodes that the
+    recoverable/unrecoverable boundary matters more than the
+    wrong/diverged one (see doc/reliability.md). *)
+
 val outcome_to_string : outcome -> string
 val outcome_code : outcome -> string
 (** Two-letter code for dense tables: ok / gl / wr / dv. *)
@@ -44,6 +59,9 @@ type run = {
   packets : int;  (** send attempts in the faulty run *)
   mismatched_steps : int;  (** observations differing from the clean run *)
   steps : int;  (** script length compared *)
+  settle_limit : int;
+      (** the per-step event budget this classification actually ran
+          under (the caller's value, not the default) *)
 }
 
 val classify :
@@ -69,4 +87,36 @@ val sweep :
   Stimulus.script ->
   (string * run) list
 (** {!classify} under each named plan, sharing one clean reference
-    run. *)
+    run.  Each row's [settle_limit] field reports the limit the sweep
+    actually ran under. *)
+
+(** {1 Shared references}
+
+    The Monte-Carlo reliability estimator classifies the same
+    (network, script) pair under many seeded plans; replaying the
+    clean run per plan would double its simulation bill.  A
+    {!reference} freezes the clean run's settled observations (and the
+    tie order they were produced under) so it can be shared across
+    {!classify_against} calls — including calls fanned out over
+    worker domains, since a reference is immutable once built. *)
+
+type reference
+(** One clean run's settled observations. *)
+
+val reference :
+  ?tie_order:Engine.tie_order -> Graph.t -> Stimulus.script -> reference
+(** Replay [script] faultlessly and record the per-step settled
+    outputs.  The clean run is expected to settle: its
+    {!Engine.Event_limit_exceeded} propagates. *)
+
+val classify_against :
+  ?settle_limit:int ->
+  reference:reference ->
+  Graph.t ->
+  Stimulus.script ->
+  faults:Fault.plan ->
+  run
+(** {!classify} against a prebuilt clean reference.  [g] and [script]
+    must be the pair the reference was built from; the faulty run
+    reuses the reference's tie order.  [classify g script ~faults] is
+    [classify_against ~reference:(reference g script) g script ~faults]. *)

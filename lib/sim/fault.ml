@@ -101,6 +101,19 @@ let zero_stats =
     stuck_overrides = 0;
   }
 
+let zero = zero_stats
+
+let merge a b =
+  {
+    drops = a.drops + b.drops;
+    duplicates = a.duplicates + b.duplicates;
+    corruptions = a.corruptions + b.corruptions;
+    jittered = a.jittered + b.jittered;
+    dead_link_losses = a.dead_link_losses + b.dead_link_losses;
+    resets = a.resets + b.resets;
+    stuck_overrides = a.stuck_overrides + b.stuck_overrides;
+  }
+
 let total s =
   s.drops + s.duplicates + s.corruptions + s.jittered + s.dead_link_losses
   + s.resets + s.stuck_overrides

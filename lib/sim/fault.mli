@@ -123,6 +123,15 @@ type stats = {
 
 val stats : runtime -> stats
 
+val zero : stats
+(** All counts zero — the identity of {!merge}. *)
+
+val merge : stats -> stats -> stats
+(** Field-wise sum, so per-trial injection counts aggregate cleanly
+    across Monte-Carlo seeds: [merge] is associative and commutative
+    with [zero] as identity, and
+    [total (merge a b) = total a + total b]. *)
+
 val total : stats -> int
 (** Sum over every fault class — "how many faults actually struck". *)
 

@@ -66,6 +66,10 @@ let all_kinds =
       Verify_tier { members = [ 1; 2 ]; tier = "bounded"; detail = "depth 6" };
       Cosim_shrink { seed = 11; round = 2; steps = 14 };
       Event_limit { clock = 99; queue_depth = 3; last_node = Some 4 };
+      Reliability_scored
+        { partitions = 3; trials = 16; severity = 0.125; cache_hit = false };
+      Reliability_scored
+        { partitions = 3; trials = 0; severity = 0.125; cache_hit = true };
     ]
 
 let test_roundtrip () =

@@ -4,7 +4,8 @@
 
 let expected_groups =
   [ "kernel"; "exhaustive"; "table1"; "table2"; "scale"; "worstcase";
-    "ablation"; "codegen"; "sim"; "faults"; "power"; "frontend";
+    "ablation"; "codegen"; "sim"; "faults"; "reliability"; "power";
+    "frontend";
     "journal" ]
 
 let test_group_inventory () =

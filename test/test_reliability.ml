@@ -1,0 +1,428 @@
+(* Tests for the reliability layer: Degrade.score and the classifier's
+   edge cases, Fault.stats algebra, fault-plan families, the memoized
+   Monte-Carlo estimator, the reliability-weighted searches, and the
+   cost/reliability Pareto sweep. *)
+
+module Graph = Netlist.Graph
+module F = Sim.Fault
+module D = Sim.Degrade
+module Family = Reliability.Family
+module Estimator = Reliability.Estimator
+
+let check = Alcotest.check
+
+let podium_script ?(steps = 20) seed =
+  let g = Testlib.podium in
+  Sim.Stimulus.random ~rng:(Prng.create seed) ~sensors:(Graph.sensors g)
+    ~steps ~spacing:20
+
+(* --- Degrade edge cases --------------------------------------------------- *)
+
+let test_score_values_and_monotonicity () =
+  let outcomes = D.[ Identical; Glitch_recovered; Wrong_value; Diverged ] in
+  check (Alcotest.list (Alcotest.float 0.)) "score spectrum"
+    [ 0.; 0.25; 0.75; 1. ]
+    (List.map D.score outcomes);
+  (* monotone in severity, both directions *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check Alcotest.bool
+            (Printf.sprintf "monotone %s/%s" (D.outcome_to_string a)
+               (D.outcome_to_string b))
+            (D.severity a <= D.severity b)
+            (D.score a <= D.score b))
+        outcomes)
+    outcomes
+
+let test_zero_packet_script_identical () =
+  (* an empty script gives the classifier nothing to compare: even a
+     drop-everything plan comes back Identical with no mismatches *)
+  let run = D.classify ~faults:(F.drop_all ~seed:2 1.0) Testlib.podium [] in
+  check Alcotest.string "identical" "identical"
+    (D.outcome_to_string run.D.outcome);
+  check Alcotest.int "no steps compared" 0 run.D.steps;
+  check Alcotest.int "no mismatches" 0 run.D.mismatched_steps
+
+let test_never_strike_plan_identical () =
+  (* a plan whose only fault lies beyond the simulated horizon is
+     installed but never draws: Identical, with zero injections *)
+  let plan =
+    { F.none with
+      seed = 5;
+      default_edge = { F.no_edge_fault with dies_at = Some max_int } }
+  in
+  let run = D.classify ~faults:plan Testlib.podium (podium_script 11) in
+  check Alcotest.string "identical" "identical"
+    (D.outcome_to_string run.D.outcome);
+  check Alcotest.int "nothing injected" 0 (F.total run.D.injected)
+
+(* The glitch/wrong boundary, pinned per plan seed on one script: the
+   same lossy rate yields a transient (recovers by the final step), a
+   settled-wrong run, and a fully-absorbed one depending only on which
+   packets the seed picks off. *)
+let test_boundary_pinned_per_seed () =
+  let script = podium_script 11 in
+  let outcome seed =
+    (D.classify ~faults:(F.drop_all ~seed 0.05) Testlib.podium script)
+      .D.outcome
+  in
+  check Alcotest.string "seed 11 absorbs" "identical"
+    (D.outcome_to_string (outcome 11));
+  check Alcotest.string "seed 4 recovers" "glitch-recovered"
+    (D.outcome_to_string (outcome 4));
+  check Alcotest.string "seed 1 settles wrong" "wrong-value"
+    (D.outcome_to_string (outcome 1))
+
+let test_sweep_reports_settle_limit () =
+  let script = podium_script 5 ~steps:10 in
+  let plans = [ ("none", F.none); ("drop", F.drop_all ~seed:4 0.1) ] in
+  let limits limit =
+    List.map
+      (fun (_, r) -> r.D.settle_limit)
+      (D.sweep ?settle_limit:limit ~plans Testlib.podium script)
+  in
+  check (Alcotest.list Alcotest.int) "caller's limit reported" [ 123; 123 ]
+    (limits (Some 123));
+  check (Alcotest.list Alcotest.int) "default limit reported"
+    [ 100_000; 100_000 ] (limits None)
+
+(* --- Fault.stats algebra -------------------------------------------------- *)
+
+let test_stats_merge_laws () =
+  let a =
+    { F.drops = 3; duplicates = 1; corruptions = 0; jittered = 2;
+      dead_link_losses = 5; resets = 1; stuck_overrides = 0 }
+  in
+  let b =
+    { F.drops = 1; duplicates = 0; corruptions = 4; jittered = 0;
+      dead_link_losses = 2; resets = 3; stuck_overrides = 7 }
+  in
+  check Alcotest.bool "zero is left identity" true (F.merge F.zero a = a);
+  check Alcotest.bool "zero is right identity" true (F.merge a F.zero = a);
+  check Alcotest.bool "commutative" true (F.merge a b = F.merge b a);
+  check Alcotest.int "total is additive" (F.total a + F.total b)
+    (F.total (F.merge a b));
+  check Alcotest.int "zero totals zero" 0 (F.total F.zero)
+
+(* --- Families ------------------------------------------------------------- *)
+
+let all_families =
+  [
+    Family.Drop { rate = 0.05 };
+    Family.Chaos { drop = 0.02; duplicate = 0.01; corrupt = 0.01; jitter = 2 };
+    Family.Brownout { rate = 0.3; ticks = [ 50; 150; 250 ] };
+  ]
+
+let test_family_string_round_trip () =
+  List.iter
+    (fun f ->
+      let s = Family.to_string f in
+      match Family.of_string s with
+      | Ok f' -> check Alcotest.string ("round-trip " ^ s) s
+                   (Family.to_string f')
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    all_families;
+  List.iter
+    (fun bad ->
+      match Family.of_string bad with
+      | Ok _ -> Alcotest.fail (bad ^ " should not parse")
+      | Error _ -> ())
+    [ ""; "drop"; "drop:1.5"; "brownout:0.3"; "chaos:0.1"; "meteor:1" ]
+
+let test_family_plan_deterministic () =
+  let g = Testlib.podium in
+  List.iter
+    (fun f ->
+      check Alcotest.bool
+        ("deterministic " ^ Family.name f)
+        true
+        (Family.plan f ~seed:9 g = Family.plan f ~seed:9 g))
+    all_families
+
+let test_brownout_targets_inner_nodes () =
+  let g = Testlib.podium in
+  let inner = Graph.inner_nodes g in
+  let plan =
+    Family.plan (Family.Brownout { rate = 1.0; ticks = [ 10 ] }) ~seed:1 g
+  in
+  (* rate 1 browns out every inner block, and only inner blocks *)
+  check Alcotest.int "one node fault per inner block" (List.length inner)
+    (List.length plan.F.node_faults);
+  List.iter
+    (fun (node, nf) ->
+      check Alcotest.bool "targets an inner node" true (List.mem node inner);
+      check (Alcotest.list Alcotest.int) "resets at the listed tick" [ 10 ]
+        nf.F.reset_at)
+    plan.F.node_faults
+
+(* --- The estimator -------------------------------------------------------- *)
+
+let small_estimator =
+  { Estimator.default_config with trials = 8; steps = 8; spacing = 20 }
+
+let test_estimate_shape () =
+  let e = Estimator.estimate_network small_estimator Testlib.podium in
+  check Alcotest.int "counts cover every trial" e.Estimator.trials
+    Estimator.(e.identical + e.recovered + e.wrong + e.diverged);
+  let expected_mean =
+    Estimator.(
+      (0.25 *. float_of_int e.recovered
+       +. 0.75 *. float_of_int e.wrong
+       +. float_of_int e.diverged)
+      /. float_of_int e.trials)
+  in
+  check (Alcotest.float 1e-9) "mean averages the scores" expected_mean
+    e.Estimator.mean;
+  check Alcotest.bool "interval brackets the mean" true
+    (e.Estimator.lo <= e.Estimator.mean && e.Estimator.mean <= e.Estimator.hi);
+  check Alcotest.bool "interval clamped to [0,1]" true
+    (0. <= e.Estimator.lo && e.Estimator.hi <= 1.)
+
+let test_estimate_never_strike_family () =
+  (* drop:0 draws nothing: every trial Identical, zero injections *)
+  let config = { small_estimator with family = Family.Drop { rate = 0. } } in
+  let e = Estimator.estimate_network config Testlib.podium in
+  check Alcotest.int "all identical" e.Estimator.trials e.Estimator.identical;
+  check (Alcotest.float 0.) "zero mean" 0. e.Estimator.mean;
+  check (Alcotest.float 0.) "zero stderr" 0. e.Estimator.stderr;
+  check Alcotest.int "zero draws" 0 (F.total e.Estimator.injected)
+
+let test_estimate_jobs_invariant () =
+  let one = Estimator.estimate_network ~jobs:1 small_estimator Testlib.podium in
+  let two = Estimator.estimate_network ~jobs:2 small_estimator Testlib.podium in
+  check Alcotest.bool "jobs 1 = jobs 2" true (one = two)
+
+let test_fingerprint_permutation_invariant () =
+  let g = Testlib.podium in
+  let solution = (Core.Paredown.run g).Core.Paredown.solution in
+  check Alcotest.bool "needs two partitions to permute" true
+    (List.length solution.Core.Solution.partitions >= 2);
+  let reversed =
+    { Core.Solution.partitions =
+        List.rev solution.Core.Solution.partitions }
+  in
+  check Alcotest.string "order-independent key"
+    (Estimator.fingerprint small_estimator g solution)
+    (Estimator.fingerprint small_estimator g reversed)
+
+let test_cache_hits () =
+  let g = Testlib.podium in
+  let solution = (Core.Paredown.run g).Core.Paredown.solution in
+  let cache = Estimator.cache () in
+  let (first, second), entries =
+    Obs.Metrics.with_scope (fun () ->
+        let first =
+          Estimator.estimate_solution ~cache small_estimator g solution
+        in
+        (* same partitions, permuted: must hit, not recompute *)
+        let second =
+          Estimator.estimate_solution ~cache small_estimator g
+            { Core.Solution.partitions =
+                List.rev solution.Core.Solution.partitions }
+        in
+        (first, second))
+  in
+  check Alcotest.bool "hit returns the stored estimate" true (first = second);
+  let stats = Estimator.cache_stats cache in
+  check Alcotest.int "one hit" 1 stats.Estimator.hits;
+  check Alcotest.int "one miss" 1 stats.Estimator.misses;
+  check Alcotest.int "one entry" 1 stats.Estimator.entries;
+  let scoped name =
+    match
+      List.find_opt (fun e -> e.Obs.Metrics.name = name) entries
+    with
+    | Some { Obs.Metrics.value = Obs.Metrics.Count n; _ } -> n
+    | _ -> Alcotest.fail ("missing counter " ^ name)
+  in
+  check Alcotest.int "cache_hits counter" 1 (scoped "reliability.cache_hits");
+  check Alcotest.int "cache_misses counter" 1
+    (scoped "reliability.cache_misses");
+  check Alcotest.int "trials counter" small_estimator.Estimator.trials
+    (scoped "reliability.trials")
+
+(* --- The weighted searches ------------------------------------------------ *)
+
+let weighted ~lambda ~lexicographic ~cache g =
+  {
+    Core.Paredown.lambda;
+    lexicographic;
+    severity = Estimator.scorer ~cache small_estimator g;
+  }
+
+let test_lambda_zero_returns_base () =
+  let g = Testlib.podium in
+  let cache = Estimator.cache () in
+  let r =
+    Core.Paredown.run_weighted
+      ~weighted:(weighted ~lambda:0. ~lexicographic:false ~cache g) g
+  in
+  check Alcotest.bool "solution is the paper's" true
+    (r.Core.Paredown.solution = r.Core.Paredown.base.Core.Paredown.solution);
+  check Alcotest.int "nothing dissolved" 0 r.Core.Paredown.dissolved;
+  check (Alcotest.float 0.) "severity unchanged"
+    r.Core.Paredown.base_severity r.Core.Paredown.severity
+
+(* The seeded counterexample, pinned as a regression: on the Entry Gate
+   Detector under the default brownout family the paper's merge is the
+   less reliable answer (merged ≈ 0.164 vs flat ≈ 0.133 expected
+   severity), and λ = 64 — past the 1/Δseverity ≈ 32 exchange rate —
+   buys the dissolve back. *)
+let test_entry_gate_dissolve_regression () =
+  let g = Designs.Library.entry_gate_detector.Designs.Design.network in
+  let cache = Estimator.cache () in
+  let config = Estimator.default_config in
+  let r =
+    Core.Paredown.run_weighted
+      ~weighted:
+        {
+          Core.Paredown.lambda = 64.;
+          lexicographic = false;
+          severity = Estimator.scorer ~cache config g;
+        }
+      g
+  in
+  check Alcotest.int "one partition dissolved" 1 r.Core.Paredown.dissolved;
+  check Alcotest.bool "strictly more reliable than λ=0" true
+    (r.Core.Paredown.severity < r.Core.Paredown.base_severity);
+  (* the pinned magnitudes, loose enough to survive float formatting *)
+  check (Alcotest.float 0.01) "flat severity" 0.133 r.Core.Paredown.severity;
+  check (Alcotest.float 0.01) "merged severity" 0.164
+    r.Core.Paredown.base_severity
+
+let test_lexicographic_never_worse () =
+  List.iter
+    (fun d ->
+      let g = d.Designs.Design.network in
+      let cache = Estimator.cache () in
+      let r =
+        Core.Paredown.run_weighted
+          ~weighted:(weighted ~lambda:0. ~lexicographic:true ~cache g) g
+      in
+      check Alcotest.bool
+        (d.Designs.Design.name ^ " lex never worse")
+        true
+        (r.Core.Paredown.severity <= r.Core.Paredown.base_severity))
+    [ Designs.Library.podium_timer_3; Designs.Library.entry_gate_detector ]
+
+(* --- The Pareto sweep ----------------------------------------------------- *)
+
+module R = Experiments.Reliability
+
+let small_sweep =
+  { R.default_config with
+    estimator = small_estimator;
+    lambdas = [ 0.; 64. ] }
+
+let test_sweep_rows_well_formed () =
+  let report =
+    R.run_network ~config:small_sweep ~name:"podium" Testlib.podium
+  in
+  (* flat + one row per λ + lex *)
+  check Alcotest.int "row count" 4 (List.length report.R.rows);
+  (match report.R.rows with
+   | first :: _ ->
+     check Alcotest.string "flat row first" "flat"
+       (R.mode_to_string first.R.mode);
+     check Alcotest.int "flat has no partitions" 0 first.R.partitions
+   | [] -> Alcotest.fail "no rows");
+  check Alcotest.bool "some row on the front" true
+    (List.exists (fun r -> r.R.on_front) report.R.rows);
+  (* a dominated row is dominated by some front row *)
+  List.iter
+    (fun r ->
+      if not r.R.on_front then
+        check Alcotest.bool "dominated by a front row" true
+          (List.exists
+             (fun o ->
+               o.R.on_front
+               && o.R.blocks <= r.R.blocks
+               && o.R.severity <= r.R.severity
+               && (o.R.blocks < r.R.blocks || o.R.severity < r.R.severity))
+             report.R.rows))
+    report.R.rows;
+  let stats = report.R.cache in
+  check Alcotest.bool "sweep shares the cache" true
+    (stats.Estimator.hits > 0)
+
+let test_sweep_finds_the_counterexample () =
+  (* the acceptance criterion, via the experiment's own rows: some λ
+     strictly beats λ=0 on the Entry Gate Detector *)
+  let report =
+    { small_sweep with estimator = Estimator.default_config }
+    |> fun config -> R.run_design ~config Designs.Library.entry_gate_detector
+  in
+  let severity mode =
+    match List.find_opt (fun r -> r.R.mode = mode) report.R.rows with
+    | Some r -> r.R.severity
+    | None -> Alcotest.fail ("missing row " ^ R.mode_to_string mode)
+  in
+  check Alcotest.bool "λ=64 beats λ=0" true
+    (severity (R.Weighted 64.) < severity (R.Weighted 0.))
+
+let test_sweep_jobs_byte_identical () =
+  let run jobs = R.run ~config:small_sweep ~jobs () in
+  let one = run 1 and two = run 2 in
+  check Alcotest.string "tables byte-identical" (R.to_table one)
+    (R.to_table two);
+  check Alcotest.string "csv byte-identical" (R.to_csv one) (R.to_csv two);
+  check Alcotest.bool "summaries agree" true (R.summary one = R.summary two)
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ( "degrade",
+        [
+          Alcotest.test_case "score values + monotonicity" `Quick
+            test_score_values_and_monotonicity;
+          Alcotest.test_case "zero-packet script" `Quick
+            test_zero_packet_script_identical;
+          Alcotest.test_case "never-strike plan" `Quick
+            test_never_strike_plan_identical;
+          Alcotest.test_case "gl/wr boundary per seed" `Quick
+            test_boundary_pinned_per_seed;
+          Alcotest.test_case "sweep reports settle limit" `Quick
+            test_sweep_reports_settle_limit;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "merge laws" `Quick test_stats_merge_laws ] );
+      ( "families",
+        [
+          Alcotest.test_case "string round-trip" `Quick
+            test_family_string_round_trip;
+          Alcotest.test_case "plan deterministic" `Quick
+            test_family_plan_deterministic;
+          Alcotest.test_case "brownout targets inner nodes" `Quick
+            test_brownout_targets_inner_nodes;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "estimate shape" `Quick test_estimate_shape;
+          Alcotest.test_case "never-strike family" `Quick
+            test_estimate_never_strike_family;
+          Alcotest.test_case "jobs invariant" `Quick
+            test_estimate_jobs_invariant;
+          Alcotest.test_case "fingerprint permutation" `Quick
+            test_fingerprint_permutation_invariant;
+          Alcotest.test_case "cache hits" `Quick test_cache_hits;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "λ=0 returns base" `Quick
+            test_lambda_zero_returns_base;
+          Alcotest.test_case "entry gate dissolve (pinned)" `Quick
+            test_entry_gate_dissolve_regression;
+          Alcotest.test_case "lexicographic never worse" `Quick
+            test_lexicographic_never_worse;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "rows well-formed" `Quick
+            test_sweep_rows_well_formed;
+          Alcotest.test_case "finds the counterexample" `Quick
+            test_sweep_finds_the_counterexample;
+          Alcotest.test_case "jobs byte-identical" `Quick
+            test_sweep_jobs_byte_identical;
+        ] );
+    ]
