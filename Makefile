@@ -2,7 +2,8 @@
 # environments without Actions.
 
 .PHONY: all build test check bench tables faults reliability-smoke \
-	verify-fuzz perf-baseline perf-smoke jobs-check journal-smoke clean
+	verify-fuzz perf-baseline perf-smoke jobs-check journal-smoke \
+	netobs-smoke clean
 
 all: build
 
@@ -81,6 +82,28 @@ jobs-check:
 	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- reliability --trials 8 --jobs 2 > rel-j2.txt
 	diff rel-j1.txt rel-j2.txt
 	rm -f rel-j1.txt rel-j2.txt
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/paredown.exe -- observe entry_gate \
+	  --faults drop:0.05 --jobs 1 --netobs netobs-jobs.json > observe-j1.txt
+	cp netobs-jobs.json netobs-j1.json
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/paredown.exe -- observe entry_gate \
+	  --faults drop:0.05 --jobs 2 --netobs netobs-jobs.json > observe-j2.txt
+	diff observe-j1.txt observe-j2.txt
+	diff netobs-j1.json netobs-jobs.json
+	rm -f observe-j1.txt observe-j2.txt netobs-j1.json netobs-jobs.json
+
+# Network-observatory smoke: `paredown observe` on two Table 1 designs
+# under a seeded drop plan (utilization table + paredown-netobs JSON +
+# Chrome timeline, uploaded as CI artifacts), then the flat-vs-
+# partitioned link-utilization comparison with the disabled-telemetry
+# overhead bound asserted (exits nonzero above 1%%; see
+# doc/network-telemetry.md).
+netobs-smoke:
+	dune exec bin/paredown.exe -- observe "Entry Gate Detector" \
+	  --faults drop:0.05 --netobs netobs-entry-gate.json \
+	  --timeline netobs-entry-gate-timeline.json
+	dune exec bin/paredown.exe -- observe "Two-Zone Security" \
+	  --faults brownout:0.3@40,110,180 --netobs netobs-two-zone.json
+	dune exec bin/run_experiments.exe -- netobs --trials 3 --overhead
 
 # Provenance-journal smoke: journal a library-design partition, then
 # run every explain query over the file (doc/provenance.md).  explain

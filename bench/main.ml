@@ -310,6 +310,41 @@ let journal_tests =
                sweep));
     ]
 
+let telemetry_tests =
+  (* The network observatory, unarmed vs armed, on the same settle
+     workload; the unarmed hook is a match on a [None] collector whose
+     cost is measured and bounded separately
+     (Experiments.Perf.telemetry_overhead, asserted below and in
+     test/test_telemetry.ml). *)
+  let g = Designs.Library.two_zone_security.Designs.Design.network in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create 21) ~sensors:(Graph.sensors g)
+      ~steps:30 ~spacing:15
+  in
+  Test.make_grouped ~name:"telemetry"
+    [
+      Test.make ~name:"settle-unarmed"
+        (Staged.stage (fun () ->
+             let engine = Sim.Engine.create g in
+             Sim.Stimulus.settled_outputs engine script));
+      Test.make ~name:"settle-armed"
+        (Staged.stage (fun () ->
+             let telemetry = Sim.Telemetry.create () in
+             let engine = Sim.Engine.create ~telemetry g in
+             Sim.Stimulus.settled_outputs engine script));
+      Test.make ~name:"merge-report"
+        (Staged.stage (fun () ->
+             let a = Sim.Telemetry.create ()
+             and b = Sim.Telemetry.create () in
+             ignore
+               (Sim.Stimulus.settled_outputs
+                  (Sim.Engine.create ~telemetry:a g) script);
+             ignore
+               (Sim.Stimulus.settled_outputs
+                  (Sim.Engine.create ~telemetry:b g) script);
+             Sim.Telemetry.report_json g (Sim.Telemetry.merge a b)));
+    ]
+
 let reliability_tests =
   (* The Monte-Carlo estimator alone, then the whole λ sweep whose later
      modes should be nearly free — the gap between the two is what the
@@ -343,7 +378,8 @@ let all_tests =
     [
       kernel_tests; table1_tests; table2_tests; scale_tests; worstcase_tests;
       ablation_tests; codegen_tests; sim_tests; fault_tests; power_tests;
-      reliability_tests; obs_tests; journal_tests; parse_tests;
+      reliability_tests; obs_tests; journal_tests; telemetry_tests;
+      parse_tests;
     ]
 
 let run_benchmarks () =
@@ -404,10 +440,27 @@ let check_journal_overhead () =
     exit 1
   end
 
+(* The doc/network-telemetry.md ≤1% claim, same shape: the unarmed
+   engine-hook guard times the hook sites a telemetry-armed simulation
+   sweep executes must stay under 1% of the unarmed sweep's wall
+   time. *)
+let check_telemetry_overhead () =
+  let o = Experiments.Perf.telemetry_overhead () in
+  Printf.printf
+    "telemetry disabled-path overhead: %.2f ns/guard x %d hook sites = \
+     %.4f%% of the sim sweep (budget 1%%)\n"
+    o.Experiments.Perf.t_guard_ns o.Experiments.Perf.t_events
+    (100. *. o.Experiments.Perf.t_ratio);
+  if o.Experiments.Perf.t_ratio > 0.01 then begin
+    prerr_endline "FAIL: telemetry disabled-path overhead exceeds 1%";
+    exit 1
+  end
+
 let () =
   print_tables ();
   write_perf_snapshot ();
   check_journal_overhead ();
+  check_telemetry_overhead ();
   if Sys.getenv_opt "BENCH_TABLES_ONLY" = None then begin
     print_endline "\n== Bechamel micro-benchmarks ==\n";
     run_benchmarks ()

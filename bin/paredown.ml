@@ -367,6 +367,17 @@ let synth_cmd =
 
 (* simulate *)
 
+let family_conv =
+  let parse s =
+    match Reliability.Family.of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f -> Format.pp_print_string ppf (Reliability.Family.to_string f)
+    )
+
 let simulate_cmd =
   let steps_arg =
     Arg.(value & opt int 20
@@ -380,15 +391,33 @@ let simulate_cmd =
          & info [ "vcd" ] ~docv:"FILE"
              ~doc:"Also dump the primary-output waveform as VCD to $(docv).")
   in
-  let run obs design steps seed vcd =
+  let faults_arg =
+    Arg.(value & opt (some family_conv) None
+         & info [ "faults" ] ~docv:"FAMILY"
+             ~doc:"Replay under a fault plan drawn from this family \
+                   (seeded by --seed); the VCD dump then carries one \
+                   cumulative strike-counter signal per fault class in \
+                   a $(b,faults) scope (see doc/fault-injection.md).")
+  in
+  let run obs design steps seed vcd family =
     with_obs obs @@ fun () ->
     let name, g = load_network design in
-    let engine = Sim.Engine.create g in
+    let faults =
+      Option.map (fun f -> Reliability.Family.plan f ~seed g) family
+    in
+    let engine =
+      match faults with
+      | None -> Sim.Engine.create g
+      | Some faults -> Sim.Engine.create ~faults g
+    in
     let rng = Prng.create seed in
     let script =
       Sim.Stimulus.random ~rng ~sensors:(Graph.sensors g) ~steps ~spacing:20
     in
-    Printf.printf "%s: applying %d random sensor changes\n" name steps;
+    Printf.printf "%s: applying %d random sensor changes%s\n" name steps
+      (match family with
+       | Some f -> " under " ^ Reliability.Family.to_string f
+       | None -> "");
     let observations = Sim.Stimulus.settled_outputs engine script in
     List.iter
       (fun (time, outputs) ->
@@ -402,10 +431,14 @@ let simulate_cmd =
     Printf.printf "block activations: %d, packets: %d\n"
       (Sim.Engine.activation_count engine)
       (Sim.Engine.packet_count engine);
-    Option.iter (fun path -> Sim.Vcd.write_file path g script) vcd
+    Option.iter
+      (fun path -> Sim.Vcd.write_file path ?faults g script)
+      vcd
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Drive a design with random stimuli.")
-    Term.(const run $ obs_term $ design_arg $ steps_arg $ seed_arg $ vcd_arg)
+    Term.(
+      const run $ obs_term $ design_arg $ steps_arg $ seed_arg $ vcd_arg
+      $ faults_arg)
 
 (* faults *)
 
@@ -475,17 +508,6 @@ let faults_cmd =
       $ steps_arg $ csv_arg)
 
 (* reliability *)
-
-let family_conv =
-  let parse s =
-    match Reliability.Family.of_string s with
-    | Ok f -> Ok f
-    | Error e -> Error (`Msg e)
-  in
-  Arg.conv
-    ( parse,
-      fun ppf f -> Format.pp_print_string ppf (Reliability.Family.to_string f)
-    )
 
 let reliability_cmd =
   let design_opt =
@@ -561,7 +583,19 @@ let reliability_cmd =
                       %d partition(s) dissolved):\n"
          lambda wr.Core.Paredown.base_severity wr.Core.Paredown.severity
          wr.Core.Paredown.dissolved;
-       print_solution g wr.Core.Paredown.solution
+       print_solution g wr.Core.Paredown.solution;
+       (* Served from the cache the weighted search just filled, so the
+          blame vector describes exactly the solution printed above. *)
+       let est =
+         Reliability.Estimator.estimate_solution ~cache estimator g
+           wr.Core.Paredown.solution
+       in
+       Printf.printf
+         "\nblame vector (severity mass per fault site; components sum to \
+          the solution's severity %.4f ±ε):\n"
+         est.Reliability.Estimator.mean;
+       print_string
+         (Reliability.Estimator.blame_table est.Reliability.Estimator.blame)
      | Some _, None ->
        failwith "--show needs a single DESIGN to refine"
      | None, _ -> ());
@@ -583,6 +617,118 @@ let reliability_cmd =
     Term.(
       const run $ obs_term $ design_opt $ seed_arg $ trials_arg $ family_arg
       $ lambdas_arg $ show_arg $ csv_arg)
+
+(* observe: the network observatory (doc/network-telemetry.md) *)
+
+let observe_cmd =
+  let faults_arg =
+    Arg.(value & opt (some family_conv) None
+         & info [ "faults" ] ~docv:"FAMILY"
+             ~doc:"Fault-plan family to observe under: $(b,drop:R), \
+                   $(b,chaos:DROP,DUP,CORRUPT,JITTER), or \
+                   $(b,brownout:R@T1,T2,...).  Without it the run is \
+                   fault-free (pure utilization).")
+  in
+  let seed_arg =
+    Arg.(value & opt int Experiments.Netobs.default_config.seed
+         & info [ "seed" ]
+             ~doc:"Master seed for the stimulus script and trial plans; \
+                   equal seeds reproduce every report byte for byte.")
+  in
+  let trials_arg =
+    Arg.(value & opt int Experiments.Netobs.default_config.trials
+         & info [ "trials" ] ~doc:"Monte-Carlo replays to merge.")
+  in
+  let steps_arg =
+    Arg.(value & opt int Experiments.Netobs.default_config.steps
+         & info [ "steps" ] ~doc:"Stimulus script length (sensor flips).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the trial fan-out; the output is \
+                   byte-identical for every $(docv).")
+  in
+  let netobs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "netobs" ] ~docv:"FILE"
+             ~doc:"Write the versioned paredown-netobs JSON report to \
+                   $(docv).")
+  in
+  let timeline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"FILE"
+             ~doc:"Write a Chrome-trace timeline of the first trial (one \
+                   lane per node) to $(docv); open in chrome://tracing or \
+                   Perfetto.")
+  in
+  let run obs design faults seed trials steps jobs netobs timeline =
+    with_obs obs @@ fun () ->
+    let name, g = load_network design in
+    let config =
+      {
+        Experiments.Netobs.default_config with
+        seed;
+        trials;
+        steps;
+        family = faults;
+      }
+    in
+    let o = Experiments.Netobs.observe_network ~jobs ~config ~name g in
+    (match o.Experiments.Netobs.family with
+     | Some family ->
+       Printf.printf
+         "%s: %d trials under %s (seed %d) — ok %d gl %d wr %d dv %d, \
+          severity %.3f\n"
+         name o.Experiments.Netobs.trials
+         (Reliability.Family.to_string family)
+         seed o.Experiments.Netobs.identical o.Experiments.Netobs.recovered
+         o.Experiments.Netobs.wrong o.Experiments.Netobs.diverged
+         o.Experiments.Netobs.severity;
+       Printf.printf
+         "\nblame vector (severity mass per fault site; components sum to \
+          %.4f ±ε):\n"
+         o.Experiments.Netobs.severity;
+       print_string
+         (Reliability.Estimator.blame_table o.Experiments.Netobs.blame)
+     | None ->
+       Printf.printf "%s: fault-free instrumented replay (seed %d)\n" name
+         seed);
+    let tel = o.Experiments.Netobs.telemetry in
+    Printf.printf
+      "\nnodes (events %d, settles %d, queue high-water %d, clock %d):\n"
+      (Sim.Telemetry.events tel)
+      (Sim.Telemetry.settles tel)
+      (Sim.Telemetry.queue_hwm tel)
+      (Sim.Telemetry.clock tel);
+    print_string (Sim.Telemetry.node_table g tel);
+    Printf.printf "\nlink utilization (all trials merged):\n";
+    print_string (Sim.Telemetry.utilization_table g tel);
+    Option.iter
+      (fun path ->
+        Experiments.Netobs.write_report o path;
+        Printf.printf "\nnetobs report written to %s\n" path)
+      netobs;
+    Option.iter
+      (fun path ->
+        let recording = Experiments.Netobs.record_timeline ~config g in
+        Sim.Telemetry.write_timeline g recording path;
+        Printf.printf "timeline (%d events, %d dropped) written to %s\n"
+          (Sim.Telemetry.timeline_events recording)
+          (Sim.Telemetry.timeline_dropped recording)
+          path)
+      timeline
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Observe a network's runtime behaviour per node and per link \
+             — deliveries, fault strikes, queue high-water marks, \
+             delivery latencies — under a seeded fault family, with \
+             severity blame attribution, a paredown-netobs JSON report, \
+             and a Chrome-trace timeline.")
+    Term.(
+      const run $ obs_term $ design_arg $ faults_arg $ seed_arg $ trials_arg
+      $ steps_arg $ jobs_arg $ netobs_arg $ timeline_arg)
 
 (* generate *)
 
@@ -842,5 +988,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
-            faults_cmd; reliability_cmd; generate_cmd; perf_cmd;
-            explain_cmd ]))
+            faults_cmd; reliability_cmd; observe_cmd; generate_cmd;
+            perf_cmd; explain_cmd ]))

@@ -1,6 +1,7 @@
 (* Regenerates every table and claim of the paper's evaluation (§5),
    plus the fault-tolerance and verification extensions.  Subcommands:
-   table1, table2, scale, ablation, power, faults, fuzz, all. *)
+   table1, table2, scale, ablation, power, faults, reliability, netobs,
+   fuzz, all. *)
 
 open Cmdliner
 
@@ -141,6 +142,36 @@ let run_reliability seed trials family jobs csv_out () =
   Option.iter
     (fun path -> write_csv path (Experiments.Reliability.to_csv report))
     csv_out
+
+let run_netobs seed trials family jobs check_overhead csv_out () =
+  print_header
+    "Network observatory: flat vs partitioned link utilization under \
+     faults";
+  in_metrics_scope @@ fun () ->
+  let config =
+    { Experiments.Netobs.default_config with seed; trials; family }
+  in
+  let rows = Experiments.Netobs.run ~jobs ~config () in
+  print_string (Experiments.Netobs.to_table rows);
+  print_endline (Experiments.Netobs.summary rows);
+  Option.iter
+    (fun path -> write_csv path (Experiments.Netobs.to_csv rows))
+    csv_out;
+  if check_overhead then begin
+    let o = Experiments.Perf.telemetry_overhead () in
+    Printf.printf
+      "disabled-telemetry overhead: %.2f ns/guard x %d hook sites / %.0f \
+       ns sweep = %.4f%%\n"
+      o.Experiments.Perf.t_guard_ns o.Experiments.Perf.t_events
+      o.Experiments.Perf.t_sweep_ns
+      (100. *. o.Experiments.Perf.t_ratio);
+    if o.Experiments.Perf.t_ratio > 0.01 then begin
+      print_endline
+        "FAIL: disabled-telemetry overhead exceeds the 1% budget \
+         (doc/network-telemetry.md)";
+      exit 1
+    end
+  end
 
 let run_fuzz seed seeds jobs csv_out show_metrics () =
   print_header
@@ -326,6 +357,53 @@ let reliability_cmd =
              the per-design cost/expected-degradation Pareto front.")
     term
 
+let netobs_cmd =
+  let trials_arg =
+    Arg.(value & opt int Experiments.Netobs.default_config.trials
+         & info [ "trials" ] ~doc:"Monte-Carlo replays per network.")
+  in
+  let family_arg =
+    let family_c =
+      Arg.conv
+        ( (fun s ->
+            match Reliability.Family.of_string s with
+            | Ok f -> Ok f
+            | Error e -> Error (`Msg e)),
+          fun ppf f ->
+            Format.pp_print_string ppf (Reliability.Family.to_string f) )
+    in
+    let default =
+      match Experiments.Netobs.default_config.family with
+      | Some f -> f
+      | None -> Reliability.Family.Drop { rate = 0.05 }
+    in
+    Arg.(value & opt family_c default
+         & info [ "family" ] ~docv:"FAMILY"
+             ~doc:"Fault-plan family: $(b,drop:R), \
+                   $(b,chaos:DROP,DUP,CORRUPT,JITTER), or \
+                   $(b,brownout:R@T1,T2,...).")
+  in
+  let overhead_arg =
+    Arg.(value & flag
+         & info [ "overhead" ]
+             ~doc:"Also measure the disabled-telemetry guard overhead of \
+                   a Table 1 simulation sweep and exit nonzero if it \
+                   exceeds the documented 1% budget.")
+  in
+  let term =
+    Term.(
+      const (fun seed trials family jobs overhead csv ->
+          run_netobs seed trials (Some family) jobs overhead csv ())
+      $ seed_arg Experiments.Netobs.default_config.seed
+      $ trials_arg $ family_arg $ jobs_arg $ overhead_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "netobs"
+       ~doc:"Compare flat vs partitioned per-link utilization (sends, \
+             busiest link, worst p99 latency) over every Table 1 design \
+             under a seeded fault family.")
+    term
+
 let all_cmd =
   let term =
     Term.(
@@ -338,6 +416,9 @@ let all_cmd =
           run_faults 11 10 None ();
           run_reliability 1 32
             Reliability.Estimator.default_config.family jobs None ();
+          run_netobs Experiments.Netobs.default_config.seed
+            Experiments.Netobs.default_config.trials
+            Experiments.Netobs.default_config.family jobs false None ();
           run_fuzz 2005 25 jobs None true ())
       $ jobs_arg $ const ())
   in
@@ -355,5 +436,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
                     [ table1_cmd; table2_cmd; scale_cmd; ablation_cmd;
-                      power_cmd; faults_cmd; reliability_cmd; fuzz_cmd;
-                      all_cmd ]))
+                      power_cmd; faults_cmd; reliability_cmd; netobs_cmd;
+                      fuzz_cmd; all_cmd ]))

@@ -39,13 +39,13 @@ let make ~name ~description ?paper ~nodes ~edges () =
    | Error problems ->
      (* The validator's problems reference bare node ids; the roster
         resolves them to block types. *)
-     failwith
+     invalid_arg
        (Printf.sprintf "design %S is malformed: %s (blocks: %s)" name
           (String.concat "; " problems)
           (block_roster g (Graph.node_ids g))));
   (match paper with
    | Some row when row.inner_original <> Graph.inner_count g ->
-     failwith
+     invalid_arg
        (Printf.sprintf
           "design %S has %d inner blocks (%s) but its Table 1 row says %d"
           name (Graph.inner_count g)

@@ -33,9 +33,11 @@ val make :
   edges:((int * int) * (int * int)) list ->
   unit ->
   t
-(** Build and validate the network; raises [Failure] if the built network
-    fails [Graph.validate] or its inner-block count disagrees with
-    [paper.inner_original].  The message names the offending design and
+(** Build and validate the network; raises [Invalid_argument] if the
+    built network fails [Graph.validate] or its inner-block count
+    disagrees with [paper.inner_original] — a malformed roster is a
+    caller error, not an internal failure.  The message names the
+    offending design and
     resolves every referenced node id to its block type
     (["3=and2, 4=delay(10)"]), so a broken reconstruction is findable
     without a debugger. *)

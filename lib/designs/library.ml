@@ -576,8 +576,27 @@ let applications =
 
 let all = table1 @ applications
 
+(* Lookup is forgiving about shell-friendly spellings: names compare
+   lowercased with spaces/dashes collapsed to underscores, so
+   "entry_gate_detector" names the Entry Gate Detector.  A normalized
+   unique prefix also resolves ("entry_gate"); ambiguous prefixes and
+   unknown names return None. *)
+let normalize name =
+  String.map
+    (fun c -> if c = ' ' || c = '-' then '_' else Char.lowercase_ascii c)
+    name
+
 let find name =
-  let wanted = String.lowercase_ascii name in
-  List.find_opt
-    (fun d -> String.equal (String.lowercase_ascii d.Design.name) wanted)
-    all
+  let wanted = normalize name in
+  match
+    List.find_opt (fun d -> String.equal (normalize d.Design.name) wanted) all
+  with
+  | Some d -> Some d
+  | None ->
+    (match
+       List.filter
+         (fun d -> String.starts_with ~prefix:wanted (normalize d.Design.name))
+         all
+     with
+     | [ d ] -> Some d
+     | [] | _ :: _ -> None)

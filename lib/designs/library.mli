@@ -43,4 +43,8 @@ val all : Design.t list
 (** [table1 @ applications]. *)
 
 val find : string -> Design.t option
-(** Case-insensitive lookup by name among {!all}. *)
+(** Lookup by name among {!all}.  Names compare case-insensitively with
+    spaces and dashes collapsed to underscores, so shell spellings like
+    ["entry_gate_detector"] work; a normalized prefix also resolves when
+    it names exactly one design (["entry_gate"]).  [None] on unknown or
+    ambiguous names. *)

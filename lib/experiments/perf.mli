@@ -10,7 +10,7 @@ type group = {
   name : string;
       (** bench group this mirrors: kernel, exhaustive, table1, table2,
           scale, worstcase, ablation, codegen, sim, faults, power,
-          frontend, journal *)
+          frontend, journal, telemetry *)
   doc : string;
   run : unit -> unit;
 }
@@ -42,6 +42,28 @@ val journal_overhead : ?iters:int -> unit -> journal_overhead
     Uninstalls any current journal first (it measures the disabled
     path) and leaves the journal uninstalled.  [iters] (default 1e6)
     is the guard-timing loop length. *)
+
+type telemetry_overhead = {
+  t_guard_ns : float;
+      (** measured cost of one unarmed engine hook (match on a [None]
+          collector) *)
+  t_events : int;
+      (** hook sites an armed sweep executes: schedule + process per
+          event, plus activations, sends, and settles *)
+  t_sweep_ns : float;
+      (** unarmed wall time of settling every Table 1 design under a
+          seeded stimulus (min of 3) *)
+  t_ratio : float;
+      (** [t_guard_ns * t_events / t_sweep_ns] — the disabled-path
+          overhead fraction the ≤1% claim in doc/network-telemetry.md
+          is about *)
+}
+
+val telemetry_overhead : ?iters:int -> unit -> telemetry_overhead
+(** Measure the disabled-telemetry overhead of a simulation sweep over
+    the Table 1 designs (the simulator hosts every hook site; the
+    search path has none).  [iters] (default 1e6) is the guard-timing
+    loop length. *)
 
 val record : ?repeats:int -> ?config:(string * string) list -> unit -> Obs.Snapshot.t
 (** Run every group once untimed (warmup; the pass the counters and

@@ -27,16 +27,29 @@ let add_args buf = function
       args;
     Buffer.add_char buf '}'
 
-let add_event t ~ph ~name ~args ~ts_ns ~extra =
+(* All events share pid 1; the span sink below lives on tid 1, while
+   the lane-aware entry points take an explicit tid so a recording can
+   dedicate one lane per simulated node (see Sim.Telemetry). *)
+let add_event_at t ~ph ~name ~args ~tid ~ts_us ~extra =
   if t.events > 0 then Buffer.add_string t.buf ",\n";
   t.events <- t.events + 1;
-  let ts = Clock.ns_to_us (Int64.sub ts_ns t.t0) in
   Buffer.add_string t.buf
     (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\
-                     \"ts\":%.3f,\"pid\":1,\"tid\":1%s" (escape name) ph ts
-       extra);
+                     \"ts\":%.3f,\"pid\":1,\"tid\":%d%s" (escape name) ph
+       ts_us tid extra);
   add_args t.buf args;
   Buffer.add_char t.buf '}'
+
+let add_event t ~ph ~name ~args ~ts_ns ~extra =
+  let ts_us = Clock.ns_to_us (Int64.sub ts_ns t.t0) in
+  add_event_at t ~ph ~name ~args ~tid:1 ~ts_us ~extra
+
+let thread_name t ~tid name =
+  add_event_at t ~ph:"M" ~name:"thread_name" ~args:[ ("name", name) ] ~tid
+    ~ts_us:0. ~extra:""
+
+let instant_at t ~tid ~ts_us ?(args = []) name =
+  add_event_at t ~ph:"i" ~name ~args ~tid ~ts_us ~extra:",\"s\":\"t\""
 
 let sink t =
   {

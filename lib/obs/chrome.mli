@@ -19,6 +19,23 @@ val sink : t -> Trace.sink
 
 val event_count : t -> int
 
+(** {2 Lane-aware recording}
+
+    The {!sink} records everything on one lane (pid 1 / tid 1).  These
+    entry points take an explicit thread id and timestamp instead, so a
+    recording can dedicate one lane per entity — e.g. one lane per
+    simulated node in a [Sim.Telemetry] timeline, with simulated ticks
+    as microseconds. *)
+
+val thread_name : t -> tid:int -> string -> unit
+(** Emit the metadata event naming lane [tid] in trace viewers. *)
+
+val instant_at :
+  t -> tid:int -> ts_us:float -> ?args:(string * string) list -> string ->
+  unit
+(** A thread-scoped instant event on lane [tid] at an explicit
+    timestamp (microseconds). *)
+
 val contents : t -> string
 (** The complete JSON array of events recorded so far. *)
 

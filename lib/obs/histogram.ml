@@ -172,6 +172,14 @@ let diff ~before after =
     d
   end
 
+let bucket_counts t =
+  locked t @@ fun () ->
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
 let merge a b =
   let a = copy a and b = copy b in
   let m = create () in

@@ -67,5 +67,12 @@ val diff : before:t -> t -> t
     in the {!copy} [before].  Counts and sums are exact; min/max are
     bucket-resolution approximations unless [before] was empty. *)
 
+val bucket_counts : t -> (int * int) list
+(** The nonzero buckets as [(index, count)] pairs in index order — the
+    exact distribution {!merge} sums, exposed so merge laws can be
+    checked bucket for bucket (not just through quantiles). *)
+
 val merge : t -> t -> t
-(** Bucket-wise sum of two histograms (exact). *)
+(** Bucket-wise sum of two histograms (exact): associative and
+    commutative on count, sum, min, max, and every bucket count, with
+    an empty histogram as identity. *)

@@ -40,6 +40,121 @@ let default_config =
     settle_limit = 100_000;
   }
 
+(* --- Blame attribution ----------------------------------------------- *)
+
+type blame = {
+  b_links : (Graph.edge * float) list;
+  b_nodes : (Node_id.t * float) list;
+  b_unattributed : float;
+}
+
+let empty_blame = { b_links = []; b_nodes = []; b_unattributed = 0. }
+
+let blame_total b =
+  List.fold_left (fun acc (_, x) -> acc +. x) 0. b.b_links
+  +. List.fold_left (fun acc (_, x) -> acc +. x) 0. b.b_nodes
+  +. b.b_unattributed
+
+(* Each trial contributes score/n to the mean; that mass is split over
+   the sites (links and nodes) in proportion to how many faults struck
+   each during the trial.  A degraded trial with no recorded strike
+   (possible only through fault classes telemetry cannot site, e.g. a
+   static stuck-at) lands in [b_unattributed], so the three components
+   always sum to the mean severity up to float rounding.  Accumulation
+   per site happens in trial order and the output lists are sorted by
+   site identity, so the vector is deterministic and jobs-invariant. *)
+let blame_of_trials trials =
+  match trials with
+  | [] -> empty_blame
+  | _ ->
+    let n = float_of_int (List.length trials) in
+    let links = Hashtbl.create 16 in
+    let nodes = Hashtbl.create 16 in
+    let unattributed = ref 0. in
+    let bump tbl k x =
+      match Hashtbl.find_opt tbl k with
+      | Some prev -> Hashtbl.replace tbl k (prev +. x)
+      | None -> Hashtbl.add tbl k x
+    in
+    List.iter
+      (fun (score, tel) ->
+        let mass = score /. n in
+        if mass > 0. then begin
+          let link_strikes = Sim.Telemetry.link_strikes tel in
+          let node_resets = Sim.Telemetry.node_resets tel in
+          let total =
+            List.fold_left (fun acc (_, k) -> acc + k) 0 link_strikes
+            + List.fold_left (fun acc (_, k) -> acc + k) 0 node_resets
+          in
+          if total = 0 then unattributed := !unattributed +. mass
+          else begin
+            let tf = float_of_int total in
+            List.iter
+              (fun (e, k) -> bump links e (mass *. float_of_int k /. tf))
+              link_strikes;
+            List.iter
+              (fun (id, k) -> bump nodes id (mass *. float_of_int k /. tf))
+              node_resets
+          end
+        end)
+      trials;
+    {
+      b_links =
+        Hashtbl.fold (fun e x acc -> (e, x) :: acc) links []
+        |> List.sort (fun (a, _) (b, _) -> Graph.compare_edge a b);
+      b_nodes =
+        Hashtbl.fold (fun id x acc -> (id, x) :: acc) nodes []
+        |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b);
+      b_unattributed = !unattributed;
+    }
+
+(* Heaviest site first; ties broken by site identity so the rendering
+   is deterministic. *)
+let blame_rows b =
+  let rows =
+    List.map
+      (fun (e, x) -> (("link " ^ Graph.edge_to_string e), x))
+      b.b_links
+    @ List.map (fun (id, x) -> ("node " ^ Node_id.to_string id, x)) b.b_nodes
+    @ (if b.b_unattributed > 0. then [ ("unattributed", b.b_unattributed) ]
+       else [])
+  in
+  List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) rows
+
+let blame_table b =
+  let total = blame_total b in
+  let share x = if total <= 0. then "-" else Printf.sprintf "%.0f%%" (100. *. x /. total) in
+  let row (site, x) = [ site; Printf.sprintf "%.4f" x; share x ] in
+  Obs.Metrics.render_table
+    ([ "site"; "severity"; "share" ]
+     :: List.map row (blame_rows b)
+    @ [ [ "total"; Printf.sprintf "%.4f" total; "" ] ])
+
+let blame_to_json b =
+  let num x = Obs.Json.Num x in
+  Obs.Json.Obj
+    [
+      ( "links",
+        Obs.Json.Arr
+          (List.map
+             (fun (e, x) ->
+               Obs.Json.Obj
+                 [
+                   ("link", Obs.Json.Str (Graph.edge_to_string e));
+                   ("severity", num x);
+                 ])
+             b.b_links) );
+      ( "nodes",
+        Obs.Json.Arr
+          (List.map
+             (fun (id, x) ->
+               Obs.Json.Obj
+                 [ ("node", Obs.Json.Num (float_of_int id)); ("severity", num x) ])
+             b.b_nodes) );
+      ("unattributed", num b.b_unattributed);
+      ("total", num (blame_total b));
+    ]
+
 type estimate = {
   trials : int;
   identical : int;
@@ -51,6 +166,7 @@ type estimate = {
   lo : float;
   hi : float;
   injected : Sim.Fault.stats;
+  blame : blame;
 }
 
 let pp_estimate ppf e =
@@ -85,13 +201,22 @@ let estimate_network ?(jobs = 1) (config : config) g =
          :: acc)
   in
   let plans = draw config.trials [] in
-  let runs =
+  (* Each trial carries its own telemetry collector so severity can be
+     attributed to the links/nodes whose strikes caused it; collectors
+     come back through Parallel.map in input order, keeping the blame
+     fold deterministic and jobs-invariant. *)
+  let trials_run =
     Parallel.map ~jobs
       (fun faults ->
-        Sim.Degrade.classify_against ~settle_limit:config.settle_limit
-          ~reference g script ~faults)
+        let telemetry = Sim.Telemetry.create () in
+        let run =
+          Sim.Degrade.classify_against ~settle_limit:config.settle_limit
+            ~telemetry ~reference g script ~faults
+        in
+        (run, telemetry))
       plans
   in
+  let runs = List.map fst trials_run in
   let count o =
     List.length (List.filter (fun r -> r.Sim.Degrade.outcome = o) runs)
   in
@@ -128,6 +253,11 @@ let estimate_network ?(jobs = 1) (config : config) g =
     lo = clamp01 (mean -. (1.96 *. stderr));
     hi = clamp01 (mean +. (1.96 *. stderr));
     injected;
+    blame =
+      blame_of_trials
+        (List.map
+           (fun (r, tel) -> (Sim.Degrade.score r.Sim.Degrade.outcome, tel))
+           trials_run);
   }
 
 (* --- Memoized solution scoring --------------------------------------- *)

@@ -39,6 +39,46 @@ val default_config : config
 (** 32 trials of [brownout:0.3@40,110,180] over a 12-flip script
     (spacing 30), seed 1, settle limit 100_000. *)
 
+(** {1 Blame attribution}
+
+    A scalar severity says {e how much} a partitioning degrades, not
+    {e where}: which link's drops, which node's brownouts.  Every
+    estimate therefore carries a {!blame} vector.  Each trial runs with
+    a {!Sim.Telemetry} collector armed, and its score-mass (score /
+    trials) is split over the fault sites in proportion to how many
+    strikes each absorbed during that trial — so the components always
+    sum (±ε) to [mean].  Degraded trials with no site-attributable
+    strike (only static stuck-at faults can cause this) accumulate in
+    [b_unattributed].  See doc/network-telemetry.md. *)
+
+type blame = {
+  b_links : (Graph.edge * float) list;
+      (** severity mass per struck link, sorted by
+          {!Graph.compare_edge} *)
+  b_nodes : (Netlist.Node_id.t * float) list;
+      (** severity mass per reset-struck node, sorted by id *)
+  b_unattributed : float;
+}
+
+val empty_blame : blame
+
+val blame_total : blame -> float
+(** Sum of every component — equals the estimate's [mean] up to float
+    rounding. *)
+
+val blame_of_trials : (float * Sim.Telemetry.t) list -> blame
+(** Aggregate (per-trial score, per-trial collector) pairs, in trial
+    order.  Deterministic: per-site accumulation follows list order and
+    the output is sorted by site identity, so feeding trials in input
+    order makes the vector jobs-invariant. *)
+
+val blame_table : blame -> string
+(** Rendered site table, heaviest site first, with a total row. *)
+
+val blame_to_json : blame -> Obs.Json.t
+(** [{"links": [{link, severity}...], "nodes": [{node, severity}...],
+    "unattributed": x, "total": x}]. *)
+
 type estimate = {
   trials : int;
   identical : int;
@@ -50,6 +90,7 @@ type estimate = {
   lo : float;
   hi : float;  (** 95% normal-approximation interval, clamped to [0,1] *)
   injected : Sim.Fault.stats;  (** faults that struck, summed over trials *)
+  blame : blame;  (** where the severity came from *)
 }
 
 val pp_estimate : Format.formatter -> estimate -> unit

@@ -82,11 +82,11 @@ type reference = {
   ref_outputs : (int * (Node_id.t * Behavior.Ast.value) list) list;
 }
 
-let classify_with ~settle_limit ~reference:{ ref_tie_order; ref_outputs }
-    ~faults g script =
+let classify_with ?telemetry ~settle_limit
+    ~reference:{ ref_tie_order; ref_outputs } ~faults g script =
   let reference = ref_outputs in
   Obs.Metrics.incr m_runs;
-  let engine = Engine.create ~tie_order:ref_tie_order ~faults g in
+  let engine = Engine.create ~tie_order:ref_tie_order ~faults ?telemetry g in
   let observed, diverged = faulty_observations ~settle_limit engine script in
   let injected =
     match Engine.fault_stats engine with
@@ -130,8 +130,9 @@ let reference ?(tie_order = Engine.Fifo) g script =
       Stimulus.settled_outputs (Engine.create ~tie_order g) script;
   }
 
-let classify_against ?(settle_limit = 100_000) ~reference g script ~faults =
-  classify_with ~settle_limit ~reference ~faults g script
+let classify_against ?(settle_limit = 100_000) ?telemetry ~reference g script
+    ~faults =
+  classify_with ?telemetry ~settle_limit ~reference ~faults g script
 
 let classify ?(tie_order = Engine.Fifo) ?(settle_limit = 100_000) ~faults g
     script =

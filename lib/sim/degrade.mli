@@ -111,6 +111,7 @@ val reference :
 
 val classify_against :
   ?settle_limit:int ->
+  ?telemetry:Telemetry.t ->
   reference:reference ->
   Graph.t ->
   Stimulus.script ->
@@ -119,4 +120,8 @@ val classify_against :
 (** {!classify} against a prebuilt clean reference.  [g] and [script]
     must be the pair the reference was built from; the faulty run
     reuses the reference's tie order.  [classify g script ~faults] is
-    [classify_against ~reference:(reference g script) g script ~faults]. *)
+    [classify_against ~reference:(reference g script) g script ~faults].
+    [telemetry] arms a collector on the faulty replay (the clean
+    reference is never re-run, so it records the faulty run only) —
+    this is how the reliability estimator attributes severity to the
+    links and nodes whose strikes caused it. *)

@@ -59,6 +59,8 @@ type t = {
   edge_delay : Graph.edge -> int;
   faults : Fault.runtime option;
       (* None when no plan was armed: the zero-cost path *)
+  telemetry : Telemetry.t option;
+      (* same pattern: None means every hook below is one branch *)
   mutable queue : event Event_queue.t;
   mutable seq : int;
   mutable clock : int;
@@ -113,11 +115,18 @@ let state t id =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
 
+let event_node = function
+  | Deliver (e, _) -> e.Graph.dst.Graph.node
+  | Timer_expiry (id, _, _) | Sensor_change (id, _) | Fault_reset id -> id
+
 let schedule t ~time event =
   (* The priority orders same-time events: scheduling order for Fifo,
      reversed for Lifo, seeded-random for Shuffled.  Perturbing it changes
      exactly the packet races whose outcome the network does not actually
      define (see {!tie_order}). *)
+  (match t.telemetry with
+   | None -> ()
+   | Some tel -> Telemetry.note_scheduled tel (event_node event));
   t.seq <- t.seq + 1;
   let priority =
     match t.tie_order, t.tie_rng with
@@ -137,7 +146,8 @@ let bump_gen rt timer =
   Hashtbl.replace rt.timer_gen timer gen;
   gen
 
-let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults g =
+let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
+    ?telemetry g =
   let order = Graph.topological_order g in
   let states =
     List.fold_left
@@ -156,6 +166,7 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults g =
     tie_rng;
     edge_delay;
     faults = Option.map Fault.start faults;
+    telemetry;
     queue = Event_queue.empty;
     seq = 0;
     clock = 0;
@@ -238,11 +249,18 @@ let present t ~time id port v =
         if e.Graph.src.Graph.port = port then begin
           t.packets <- t.packets + 1;
           Obs.Metrics.incr m_packets;
-          let deliveries =
+          let deliveries, strike =
             match t.faults with
-            | None -> [ (0, v) ]
+            | None -> ([ (0, v) ], Fault.no_strike)
             | Some frt -> Fault.on_send frt ~time e v
           in
+          (match t.telemetry with
+           | None -> ()
+           | Some tel ->
+             let base = max 1 (t.edge_delay e) in
+             Telemetry.note_send tel e ~strike
+               ~latencies:(List.map (fun (extra, _) -> base + extra)
+                             deliveries));
           List.iter
             (fun (extra, v') ->
               schedule t
@@ -258,6 +276,9 @@ let activate t ~time id ~fired =
   let rt = state t id in
   t.activations <- t.activations + 1;
   Obs.Metrics.incr m_activations;
+  (match t.telemetry with
+   | None -> ()
+   | Some tel -> Telemetry.note_activation tel id);
   let act =
     { Behavior.Eval.inputs = Array.copy rt.input_latch; fired }
   in
@@ -283,14 +304,21 @@ let activate t ~time id ~fired =
 let record_output_change t ~time id v =
   t.output_trace <- (time, id, v) :: t.output_trace
 
-let event_node = function
-  | Deliver (e, _) -> e.Graph.dst.Graph.node
-  | Timer_expiry (id, _, _) | Sensor_change (id, _) | Fault_reset id -> id
-
 let process t ~time event =
   t.clock <- max t.clock time;
   t.last_active <- Some (event_node event);
   Obs.Metrics.incr m_events;
+  (match t.telemetry with
+   | None -> ()
+   | Some tel ->
+     let kind =
+       match event with
+       | Deliver (e, _) -> Telemetry.Delivered e
+       | Timer_expiry _ -> Telemetry.Timer_fired
+       | Sensor_change _ -> Telemetry.Sensor_set
+       | Fault_reset _ -> Telemetry.Reset
+     in
+     Telemetry.note_event tel ~time (event_node event) kind);
   match event with
   | Deliver (e, v) ->
     Obs.Metrics.incr m_deliveries;
@@ -368,6 +396,9 @@ let settle ?(limit = 100_000) t =
     else begin
       Obs.Metrics.incr m_settles;
       Obs.Metrics.add m_settle_iterations (limit - remaining);
+      (match t.telemetry with
+       | None -> ()
+       | Some tel -> Telemetry.note_settle tel);
       Obs.Histogram.observe h_settle_ns
         (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
       Obs.Histogram.observe_int h_settle_events (limit - remaining)

@@ -37,7 +37,7 @@ val wire_delay : int
 
 val create :
   ?tie_order:tie_order -> ?edge_delay:(Graph.edge -> int) ->
-  ?faults:Fault.plan -> Graph.t -> t
+  ?faults:Fault.plan -> ?telemetry:Telemetry.t -> Graph.t -> t
 (** Initialise a simulation.  Latches start from the descriptors' power-on
     values, then every block evaluates once in topological order (the
     power-on sweep: physical blocks announce their state at power-on), so
@@ -60,7 +60,14 @@ val create :
     own seeded PRNG so a run replays exactly.  Without [faults] (or with
     a plan that is {!Fault.is_trivial}) the engine behaves — traces,
     packet counts, event order — exactly as if the fault layer did not
-    exist. *)
+    exist.
+
+    [telemetry] arms a {!Telemetry.t} collector recording per-node and
+    per-link runtime statistics (deliveries, fault strikes, queue
+    high-water marks, delivery latencies).  Same contract as [faults]:
+    a collector never changes the simulation's behaviour, and without
+    one every hook is a single branch on an immutable [None] — the
+    zero-cost-when-off path. *)
 
 val now : t -> int
 

@@ -178,6 +178,27 @@ let jitter_draw rt f =
     extra
   end
 
+type strike = {
+  s_dropped : bool;
+  s_duplicated : bool;
+  s_corrupted : bool;
+  s_jittered : int;
+  s_dead : bool;
+}
+
+let no_strike =
+  {
+    s_dropped = false;
+    s_duplicated = false;
+    s_corrupted = false;
+    s_jittered = 0;
+    s_dead = false;
+  }
+
+let strike_total s =
+  Bool.to_int s.s_dropped + Bool.to_int s.s_duplicated
+  + Bool.to_int s.s_corrupted + s.s_jittered + Bool.to_int s.s_dead
+
 let on_send rt ~time e v =
   let f = fault_for rt e in
   let dead = match f.dies_at with Some t -> time >= t | None -> false in
@@ -185,29 +206,46 @@ let on_send rt ~time e v =
     rt.stats <-
       { rt.stats with dead_link_losses = rt.stats.dead_link_losses + 1 };
     Obs.Metrics.incr m_dead;
-    []
+    ([], { no_strike with s_dead = true })
   end
   else if strikes rt f.drop then begin
     rt.stats <- { rt.stats with drops = rt.stats.drops + 1 };
     Obs.Metrics.incr m_drops;
-    []
+    ([], { no_strike with s_dropped = true })
   end
   else begin
+    let corrupted = strikes rt f.corrupt in
     let v =
-      if strikes rt f.corrupt then begin
+      if corrupted then begin
         rt.stats <- { rt.stats with corruptions = rt.stats.corruptions + 1 };
         Obs.Metrics.incr m_corruptions;
         corrupt_value rt v
       end
       else v
     in
-    let first = (jitter_draw rt f, v) in
+    (* Draw order matters for replay: first jitter, then the duplicate
+       decision, then the duplicate's jitter — exactly as before the
+       strike record existed. *)
+    let j1 = jitter_draw rt f in
     if strikes rt f.duplicate then begin
       rt.stats <- { rt.stats with duplicates = rt.stats.duplicates + 1 };
       Obs.Metrics.incr m_duplicates;
-      [ first; (jitter_draw rt f, v) ]
+      let j2 = jitter_draw rt f in
+      ( [ (j1, v); (j2, v) ],
+        {
+          no_strike with
+          s_duplicated = true;
+          s_corrupted = corrupted;
+          s_jittered = Bool.to_int (j1 > 0) + Bool.to_int (j2 > 0);
+        } )
     end
-    else [ first ]
+    else
+      ( [ (j1, v) ],
+        {
+          no_strike with
+          s_corrupted = corrupted;
+          s_jittered = Bool.to_int (j1 > 0);
+        } )
   end
 
 let stuck_value rt ~time id ~port v =

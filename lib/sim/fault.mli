@@ -92,13 +92,29 @@ val resets : plan -> (Node_id.t * int) list
 (** All (node, tick) spurious resets the engine must schedule, in plan
     order. *)
 
+type strike = {
+  s_dropped : bool;
+  s_duplicated : bool;
+  s_corrupted : bool;
+  s_jittered : int;  (** deliveries of this send delayed by nonzero jitter *)
+  s_dead : bool;  (** lost to a dead link *)
+}
+(** What struck one packet send — the per-send view of {!stats}, so the
+    engine can attribute faults to the edge they struck on (see
+    {!Telemetry}). *)
+
+val no_strike : strike
+
+val strike_total : strike -> int
+(** How many faults struck this send (each boolean counts 1). *)
+
 val on_send : runtime -> time:int -> Graph.edge -> Behavior.Ast.value ->
-  (int * Behavior.Ast.value) list
-(** The deliveries a single packet send becomes under the plan: each
-    element is (extra delay, possibly corrupted value).  [[]] means the
-    packet was dropped (or the link is dead); two elements mean
-    duplication.  A faultless edge returns [[ (0, v) ]] without touching
-    the PRNG. *)
+  (int * Behavior.Ast.value) list * strike
+(** The deliveries a single packet send becomes under the plan, plus
+    the faults that struck it.  Each delivery is (extra delay, possibly
+    corrupted value).  [[]] means the packet was dropped (or the link is
+    dead); two elements mean duplication.  A faultless edge returns
+    [([ (0, v) ], no_strike)] without touching the PRNG. *)
 
 val stuck_value : runtime -> time:int -> Node_id.t -> port:int ->
   Behavior.Ast.value -> Behavior.Ast.value

@@ -46,10 +46,34 @@ let render_value code (v : Behavior.Ast.value) =
    produce a (truncated) waveform instead of hanging. *)
 let event_limit = 100_000
 
-let record ?(extra_probes = []) g script =
+(* Fault-strike markers: one 16-bit cumulative counter per injection
+   class, in their own scope, so a waveform viewer shows exactly which
+   tick each strike landed on next to the signals it perturbed
+   (doc/fault-injection.md). *)
+let fault_counters =
+  [
+    ("fault_drops", fun s -> s.Fault.drops);
+    ("fault_duplicates", fun s -> s.Fault.duplicates);
+    ("fault_corruptions", fun s -> s.Fault.corruptions);
+    ("fault_jittered", fun s -> s.Fault.jittered);
+    ("fault_dead_losses", fun s -> s.Fault.dead_link_losses);
+    ("fault_resets", fun s -> s.Fault.resets);
+    ("fault_stuck", fun s -> s.Fault.stuck_overrides);
+  ]
+
+let record ?(extra_probes = []) ?faults g script =
   let probes = output_probes g @ extra_probes in
   let codes = List.mapi (fun i _ -> id_code i) probes in
-  let engine = Engine.create g in
+  let markers =
+    match faults with
+    | None -> []
+    | Some _ ->
+      List.mapi
+        (fun i (label, read) ->
+          (label, read, id_code (List.length probes + i)))
+        fault_counters
+  in
+  let engine = Engine.create ?faults g in
   Stimulus.apply engine script;
   let buf = Buffer.create 1024 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -67,8 +91,20 @@ let record ?(extra_probes = []) g script =
         (sanitize probe.label))
     probes codes;
   out "$upscope $end\n";
+  if markers <> [] then begin
+    out "$scope module faults $end\n";
+    List.iter
+      (fun (label, _, code) -> out "$var reg 16 %s %s $end\n" code label)
+      markers;
+    out "$upscope $end\n"
+  end;
   out "$enddefinitions $end\n";
   let current = Hashtbl.create 8 in
+  let marker_value read =
+    match Engine.fault_stats engine with
+    | Some stats -> Behavior.Ast.Int (read stats)
+    | None -> Behavior.Ast.Int 0
+  in
   out "$dumpvars\n";
   List.iter2
     (fun probe code ->
@@ -76,23 +112,33 @@ let record ?(extra_probes = []) g script =
       Hashtbl.replace current code v;
       out "%s\n" (render_value code v))
     probes codes;
+  List.iter
+    (fun (_, read, code) ->
+      let v = marker_value read in
+      Hashtbl.replace current code v;
+      out "%s\n" (render_value code v))
+    markers;
   out "$end\n";
   let last_emitted_time = ref (-1) in
+  let emit_change code v =
+    if not (Behavior.Ast.equal_value (Hashtbl.find current code) v)
+    then begin
+      Hashtbl.replace current code v;
+      let time = Engine.now engine in
+      if time <> !last_emitted_time then begin
+        out "#%d\n" time;
+        last_emitted_time := time
+      end;
+      out "%s\n" (render_value code v)
+    end
+  in
   let sample () =
     List.iter2
-      (fun probe code ->
-        let v = probe_value engine g probe in
-        if not (Behavior.Ast.equal_value (Hashtbl.find current code) v)
-        then begin
-          Hashtbl.replace current code v;
-          let time = Engine.now engine in
-          if time <> !last_emitted_time then begin
-            out "#%d\n" time;
-            last_emitted_time := time
-          end;
-          out "%s\n" (render_value code v)
-        end)
-      probes codes
+      (fun probe code -> emit_change code (probe_value engine g probe))
+      probes codes;
+    List.iter
+      (fun (_, read, code) -> emit_change code (marker_value read))
+      markers
   in
   let rec drain remaining =
     if remaining > 0 && Engine.step engine then begin
@@ -104,8 +150,8 @@ let record ?(extra_probes = []) g script =
   out "#%d\n" (Engine.now engine + 1);
   Buffer.contents buf
 
-let write_file path ?extra_probes g script =
+let write_file path ?extra_probes ?faults g script =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (record ?extra_probes g script))
+    (fun () -> output_string oc (record ?extra_probes ?faults g script))

@@ -20,13 +20,27 @@ val output_probes : Graph.t -> probe list
 
 val record :
   ?extra_probes:probe list ->
+  ?faults:Fault.plan ->
   Graph.t ->
   Stimulus.script ->
   string
 (** Run the script to completion on a fresh engine, sampling the probes
     after every event, and render the waveform as VCD text.  Primary
     outputs are always probed.  Self-retriggering networks are truncated
-    after a generous event budget rather than hanging. *)
+    after a generous event budget rather than hanging.
+
+    [faults] arms the plan on the replaying engine and annotates the
+    dump with one cumulative 16-bit strike counter per injection class
+    ([fault_drops], [fault_duplicates], [fault_corruptions],
+    [fault_jittered], [fault_dead_losses], [fault_resets],
+    [fault_stuck]) in their own [faults] scope, so the viewer shows
+    which tick each strike landed on next to the signals it perturbed
+    (see doc/fault-injection.md). *)
 
 val write_file :
-  string -> ?extra_probes:probe list -> Graph.t -> Stimulus.script -> unit
+  string ->
+  ?extra_probes:probe list ->
+  ?faults:Fault.plan ->
+  Graph.t ->
+  Stimulus.script ->
+  unit

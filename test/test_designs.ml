@@ -40,6 +40,14 @@ let test_find () =
      check Alcotest.string "case-insensitive" "Podium Timer 3"
        d.Designs.Design.name
    | None -> Alcotest.fail "lookup failed");
+  (* CLI spellings: separators normalize and a unique prefix resolves *)
+  (match Designs.Library.find "entry_gate" with
+   | Some d ->
+     check Alcotest.string "normalized prefix" "Entry Gate Detector"
+       d.Designs.Design.name
+   | None -> Alcotest.fail "entry_gate did not resolve");
+  check Alcotest.bool "ambiguous prefix" true
+    (Designs.Library.find "doorbell" = None);
   check Alcotest.bool "unknown" true (Designs.Library.find "nope" = None)
 
 let test_unique_names () =
@@ -108,16 +116,21 @@ let test_two_button_light_blocked () =
         (Core.Partition.is_valid g p))
     subsets
 
+(* A malformed roster is a caller error, so [make] raises
+   [Invalid_argument] — not [Failure], which reads as an internal
+   defect. *)
 let expect_failure what contains_all f =
   match f () with
-  | exception Failure msg ->
+  | exception Invalid_argument msg ->
     List.iter
       (fun needle ->
         check Alcotest.bool
           (Printf.sprintf "%s message mentions %S" what needle)
           true (Testlib.contains msg needle))
       contains_all
-  | _ -> Alcotest.failf "%s did not raise Failure" what
+  | exception Failure _ ->
+    Alcotest.failf "%s raised Failure instead of Invalid_argument" what
+  | _ -> Alcotest.failf "%s did not raise Invalid_argument" what
 
 let test_make_malformed_names_design_and_block () =
   (* and2's second input is left undriven: the message must name the

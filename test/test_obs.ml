@@ -379,6 +379,76 @@ let test_histogram_time_and_registry () =
        "Obs.Metrics.counter: \"test.obs.hist_ns\" is a histogram")
     (fun () -> ignore (Obs.Metrics.counter "test.obs.hist_ns"))
 
+(* Histogram.merge laws: the telemetry collector's determinism argument
+   (doc/network-telemetry.md) rests on merge being associative and
+   commutative on every statistic the reports read, so fold order over
+   Monte-Carlo trials cannot matter. *)
+
+let histogram_of values =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe h) values;
+  h
+
+(* Observations spanning bucket 0, the mid octaves, and values whose
+   float sums stay exact (small integers), like the collector's tick
+   latencies and packet counts. *)
+let arbitrary_observations =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 40)
+    (QCheck.map float_of_int (QCheck.int_range 0 5000))
+
+let same_reading label a b =
+  let eq =
+    Obs.Histogram.count a = Obs.Histogram.count b
+    && Obs.Histogram.sum a = Obs.Histogram.sum b
+    && Obs.Histogram.min_value a = Obs.Histogram.min_value b
+    && Obs.Histogram.max_value a = Obs.Histogram.max_value b
+    && Obs.Histogram.bucket_counts a = Obs.Histogram.bucket_counts b
+  in
+  if not eq then
+    QCheck.Test.fail_reportf
+      "%s: count %d/%d sum %g/%g min %g/%g max %g/%g" label
+      (Obs.Histogram.count a) (Obs.Histogram.count b)
+      (Obs.Histogram.sum a) (Obs.Histogram.sum b)
+      (Obs.Histogram.min_value a) (Obs.Histogram.min_value b)
+      (Obs.Histogram.max_value a) (Obs.Histogram.max_value b);
+  true
+
+let test_histogram_merge_commutative =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"merge is commutative"
+       QCheck.(pair arbitrary_observations arbitrary_observations)
+       (fun (xs, ys) ->
+         let a = histogram_of xs and b = histogram_of ys in
+         same_reading "a+b vs b+a" (Obs.Histogram.merge a b)
+           (Obs.Histogram.merge b a)))
+
+let test_histogram_merge_associative =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"merge is associative"
+       QCheck.(
+         triple arbitrary_observations arbitrary_observations
+           arbitrary_observations)
+       (fun (xs, ys, zs) ->
+         let a = histogram_of xs
+         and b = histogram_of ys
+         and c = histogram_of zs in
+         same_reading "(a+b)+c vs a+(b+c)"
+           (Obs.Histogram.merge (Obs.Histogram.merge a b) c)
+           (Obs.Histogram.merge a (Obs.Histogram.merge b c))))
+
+let test_histogram_merge_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"empty is the merge identity"
+       arbitrary_observations
+       (fun xs ->
+         let a = histogram_of xs in
+         same_reading "a+0 vs a"
+           (Obs.Histogram.merge a (Obs.Histogram.create ()))
+           a
+         && same_reading "merge equals single histogram of all values"
+              (Obs.Histogram.merge a (Obs.Histogram.create ()))
+              (histogram_of xs)))
+
 (* ------------------------------------------------------------------ *)
 (* with_scope *)
 
@@ -727,6 +797,9 @@ let () =
           Alcotest.test_case "diff" `Quick test_histogram_diff;
           Alcotest.test_case "time and registry" `Quick
             test_histogram_time_and_registry;
+          test_histogram_merge_commutative;
+          test_histogram_merge_associative;
+          test_histogram_merge_identity;
         ] );
       ( "scope",
         [
