@@ -3,7 +3,7 @@
 
 .PHONY: all build test check bench tables faults reliability-smoke \
 	verify-fuzz perf-baseline perf-smoke jobs-check journal-smoke \
-	netobs-smoke clean
+	netobs-smoke sim-smoke clean
 
 all: build
 
@@ -40,16 +40,19 @@ reliability-smoke:
 
 # Verification fuzzing: every partition of a batch of random designs
 # through the three-tier verifier (doc/verification.md); exits nonzero
-# on any failed verdict.  The second/third lines are the --jobs
-# determinism gate for the fuzz sweep itself.
+# on any failed verdict.  The compiled simulation kernel
+# (doc/performance.md "Simulator compilation") made settles ~10x
+# cheaper, so the gate runs 2000 seeds in the wall time 200 used to
+# take.  The second/third lines are the --jobs determinism gate for
+# the fuzz sweep itself (smaller batch: it runs the sweep twice).
 # The first sweep arms the flight recorder: a failed verdict dumps a
 # post-mortem bundle (journal tail + metrics + git rev) that CI uploads
 # as an artifact.  On success no bundle is written.
 verify-fuzz:
 	PAREDOWN_FLIGHT_RECORD=paredown-postmortem.json \
-	  dune exec bin/run_experiments.exe -- fuzz --seeds 30
-	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 30 --jobs 1 > fuzz-j1.txt
-	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 30 --jobs 2 > fuzz-j2.txt
+	  dune exec bin/run_experiments.exe -- fuzz --seeds 2000
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 200 --jobs 1 > fuzz-j1.txt
+	PAREDOWN_STABLE_TIMES=1 dune exec bin/run_experiments.exe -- fuzz --seeds 200 --jobs 2 > fuzz-j2.txt
 	diff fuzz-j1.txt fuzz-j2.txt
 	rm -f fuzz-j1.txt fuzz-j2.txt
 
@@ -89,7 +92,33 @@ jobs-check:
 	  --faults drop:0.05 --jobs 2 --netobs netobs-jobs.json > observe-j2.txt
 	diff observe-j1.txt observe-j2.txt
 	diff netobs-j1.json netobs-jobs.json
-	rm -f observe-j1.txt observe-j2.txt netobs-j1.json netobs-jobs.json
+	PAREDOWN_STABLE_TIMES=1 PAREDOWN_SIM_KERNEL=interpreted \
+	  dune exec bin/paredown.exe -- observe entry_gate \
+	  --faults drop:0.05 --jobs 2 --netobs netobs-jobs.json > observe-ji.txt
+	diff observe-j1.txt observe-ji.txt
+	diff netobs-j1.json netobs-jobs.json
+	rm -f observe-j1.txt observe-j2.txt observe-ji.txt \
+	  netobs-j1.json netobs-jobs.json
+
+# Kernel-equivalence smoke: the same sim-heavy sweeps (fault grading,
+# Monte-Carlo reliability) under the compiled kernel and the
+# interpreted oracle, diffed byte-for-byte.  PAREDOWN_SIM_KERNEL
+# selects the kernel process-wide; PAREDOWN_STABLE_TIMES masks wall
+# clocks, the one legitimately differing output.  Complements the
+# QCheck equivalence properties in test/test_kernel.ml with full
+# CLI-path coverage.
+sim-smoke:
+	PAREDOWN_STABLE_TIMES=1 PAREDOWN_SIM_KERNEL=compiled \
+	  dune exec bin/run_experiments.exe -- faults --trials 3 > sim-kc.txt
+	PAREDOWN_STABLE_TIMES=1 PAREDOWN_SIM_KERNEL=interpreted \
+	  dune exec bin/run_experiments.exe -- faults --trials 3 > sim-ki.txt
+	diff sim-kc.txt sim-ki.txt
+	PAREDOWN_STABLE_TIMES=1 PAREDOWN_SIM_KERNEL=compiled \
+	  dune exec bin/run_experiments.exe -- reliability --trials 8 > sim-rc.txt
+	PAREDOWN_STABLE_TIMES=1 PAREDOWN_SIM_KERNEL=interpreted \
+	  dune exec bin/run_experiments.exe -- reliability --trials 8 > sim-ri.txt
+	diff sim-rc.txt sim-ri.txt
+	rm -f sim-kc.txt sim-ki.txt sim-rc.txt sim-ri.txt
 
 # Network-observatory smoke: `paredown observe` on two Table 1 designs
 # under a seeded drop plan (utilization table + paredown-netobs JSON +

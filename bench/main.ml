@@ -10,6 +10,7 @@
      ablation/*  — PareDown ingredient variants and the aggregation baseline
      codegen/*   — merge + C emission
      sim/*       — simulator settle and VCD export on a library design
+     sim_kernel/* — compiled vs interpreted settle kernels (doc/performance.md)
      faults/*    — fault-injection hook overhead and degradation grading
      power/*     — the packet-count power proxy
      frontend/*  — behaviour-language parsing
@@ -237,6 +238,31 @@ let sim_tests =
         (Staged.stage (fun () -> Sim.Vcd.record g script));
     ]
 
+let sim_kernel_tests =
+  (* Compiled vs interpreted kernels on the perf suite's settle
+     workload (doc/performance.md "Simulator compilation"): the pair's
+     ratio is the measured speedup behind the >=10x target.  A smaller
+     design than lib/experiments/perf.ml keeps bechamel's per-sample
+     cost reasonable; the perf group holds the headline workload. *)
+  let g = random_design ~seed:4 ~inner:60 in
+  let script =
+    Sim.Stimulus.random ~rng:(Prng.create 41) ~sensors:(Graph.sensors g)
+      ~steps:400 ~spacing:5
+  in
+  let settle kernel () =
+    let engine = Sim.Engine.create ~kernel g in
+    Sim.Stimulus.apply engine script;
+    Sim.Engine.settle ~limit:10_000_000 engine;
+    Sim.Engine.output_values engine
+  in
+  Test.make_grouped ~name:"sim_kernel"
+    [
+      Test.make ~name:"settle-compiled"
+        (Staged.stage (settle Sim.Engine.Compiled));
+      Test.make ~name:"settle-interpreted"
+        (Staged.stage (settle Sim.Engine.Interpreted));
+    ]
+
 let fault_tests =
   (* The ?faults hook must stay free when absent and near-free when the
      plan is armed but trivial; the drop plan shows the live cost. *)
@@ -377,7 +403,8 @@ let all_tests =
   Test.make_grouped ~name:"paredown"
     [
       kernel_tests; table1_tests; table2_tests; scale_tests; worstcase_tests;
-      ablation_tests; codegen_tests; sim_tests; fault_tests; power_tests;
+      ablation_tests; codegen_tests; sim_tests; sim_kernel_tests;
+      fault_tests; power_tests;
       reliability_tests; obs_tests; journal_tests; telemetry_tests;
       parse_tests;
     ]

@@ -44,6 +44,8 @@ let input i = Input i
 let var name = Var name
 
 let equal_value v1 v2 =
+  v1 == v2  (* Bool payloads are shared statics in practice *)
+  ||
   match v1, v2 with
   | Bool b1, Bool b2 -> Bool.equal b1 b2
   | Int n1, Int n2 -> Int.equal n1 n2

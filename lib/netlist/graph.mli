@@ -92,6 +92,16 @@ val fanout_unordered : t -> Node_id.t -> edge list
     per-call sort — for counting and membership loops where order does
     not matter (see {!Cut}). *)
 
+val fanout_on : t -> Node_id.t -> int -> edge list
+(** Edges leaving the given output port, in {!fanout} order — exactly
+    [List.filter (fun e -> e.src.port = port) (fanout g id)], served
+    from a per-graph per-(node, port) index built on first use, so the
+    simulator's per-packet send loop does no list scan or filter.  An
+    out-of-range port reads as no edges. *)
+
+val iter_fanout_on : t -> Node_id.t -> int -> (edge -> unit) -> unit
+(** Allocation-free iteration over the same edges in the same order. *)
+
 val driver : t -> Node_id.t -> int -> endpoint option
 (** The endpoint driving a given input port, if connected. *)
 

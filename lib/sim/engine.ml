@@ -22,53 +22,14 @@ let h_settle_events =
 
 type value = Behavior.Ast.value
 
-type runtime = {
-  mutable env : Behavior.Eval.env;
-      (* replaced wholesale on a spurious reset (fault injection) *)
-  input_latch : value array;
-  output_latch : value array;
-  timer_gen : (int, int) Hashtbl.t;
-      (* per timer index: generation of the latest arming; expiry events
-         from superseded generations are ignored *)
-}
-
-type event =
-  | Deliver of Graph.edge * value
-  | Timer_expiry of Node_id.t * int * int  (* node, timer index, generation *)
-  | Sensor_change of Node_id.t * bool
-  | Fault_reset of Node_id.t  (* spurious reset from the fault plan *)
-
-module Queue_key = struct
-  type t = int * int * int  (* time, priority, unique counter *)
-
-  let compare = compare
-end
-
-module Event_queue = Map.Make (Queue_key)
-
 type tie_order =
   | Fifo
   | Lifo
   | Shuffled of int
 
-type t = {
-  graph : Graph.t;
-  states : runtime Node_id.Map.t;
-  tie_order : tie_order;
-  tie_rng : Prng.t option;
-  edge_delay : Graph.edge -> int;
-  faults : Fault.runtime option;
-      (* None when no plan was armed: the zero-cost path *)
-  telemetry : Telemetry.t option;
-      (* same pattern: None means every hook below is one branch *)
-  mutable queue : event Event_queue.t;
-  mutable seq : int;
-  mutable clock : int;
-  mutable activations : int;
-  mutable packets : int;
-  mutable last_active : Node_id.t option;
-  mutable output_trace : (int * Node_id.t * value) list;  (* newest first *)
-}
+type kernel =
+  | Interpreted
+  | Compiled
 
 exception
   Event_limit_exceeded of {
@@ -90,6 +51,108 @@ let () =
 
 let wire_delay = 1
 
+let dummy_value = Behavior.Ast.Bool false
+
+(* ------------------------------------------------------------------ *)
+(* Output trace: a growable flat buffer instead of a cons list, so
+   recording a change is three array writes and [trace] builds its
+   chronological list directly (no O(n) reverse of a newest-first
+   list). *)
+
+module Tbuf = struct
+  type t = {
+    mutable times : int array;
+    mutable nodes : Node_id.t array;
+    mutable vals : value array;
+    mutable len : int;
+  }
+
+  let create () =
+    {
+      times = Array.make 16 0;
+      nodes = Array.make 16 0;
+      vals = Array.make 16 dummy_value;
+      len = 0;
+    }
+
+  let push b ~time node v =
+    let cap = Array.length b.times in
+    if b.len = cap then begin
+      let ncap = 2 * cap in
+      let grow a zero =
+        let a' = Array.make ncap zero in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      b.times <- grow b.times 0;
+      b.nodes <- grow b.nodes 0;
+      b.vals <- grow b.vals dummy_value
+    end;
+    b.times.(b.len) <- time;
+    b.nodes.(b.len) <- node;
+    b.vals.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let to_list b =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) ((b.times.(i), b.nodes.(i), b.vals.(i)) :: acc)
+    in
+    go (b.len - 1) []
+end
+
+(* ================================================================== *)
+(* Interpreted kernel — the oracle.  Walks [Behavior.Ast] through
+   [Behavior.Eval] on every activation and orders events with a
+   functional map; kept verbatim-simple so the compiled kernel below
+   can be property-tested byte-identical against it. *)
+
+type runtime = {
+  mutable env : Behavior.Eval.env;
+      (* replaced wholesale on a spurious reset (fault injection) *)
+  input_latch : value array;
+  output_latch : value array;
+  timer_gen : int array;
+      (* per timer index: generation of the latest arming; expiry events
+         from superseded generations are ignored.  Sized from the
+         behaviour's largest timer index, so the common timer-free block
+         carries the shared zero-length array and pays nothing. *)
+}
+
+type event =
+  | Deliver of Graph.edge * value
+  | Timer_expiry of Node_id.t * int * int  (* node, timer index, generation *)
+  | Sensor_change of Node_id.t * bool
+  | Fault_reset of Node_id.t  (* spurious reset from the fault plan *)
+
+module Queue_key = struct
+  type t = int * int * int  (* time, priority, unique counter *)
+
+  let compare = compare
+end
+
+module Event_queue = Map.Make (Queue_key)
+
+type interp = {
+  graph : Graph.t;
+  states : runtime Node_id.Map.t;
+  i_tie_order : tie_order;
+  i_tie_rng : Prng.t option;
+  i_edge_delay : Graph.edge -> int;
+  i_faults : Fault.runtime option;
+      (* None when no plan was armed: the zero-cost path *)
+  i_telemetry : Telemetry.t option;
+      (* same pattern: None means every hook below is one branch *)
+  mutable queue : event Event_queue.t;
+  mutable depth : int;  (* cardinality of [queue], maintained in O(1) *)
+  mutable i_seq : int;
+  mutable i_clock : int;
+  mutable i_activations : int;
+  mutable i_packets : int;
+  mutable i_last_active : Node_id.t option;
+  i_trace : Tbuf.t;
+}
+
 let runtime_of_node g id =
   let d = Graph.descriptor g id in
   let open Eblock.Descriptor in
@@ -101,16 +164,15 @@ let runtime_of_node g id =
           src_desc.output_init.(src.Graph.port)
         | None -> Behavior.Ast.Bool false)
   in
+  let n_timers = Behavior.Ast.max_timer_index d.behavior + 1 in
   {
     env = Behavior.Eval.init d.behavior;
     input_latch;
     output_latch = Array.copy d.output_init;
-    timer_gen = Hashtbl.create 2;
+    timer_gen = (if n_timers = 0 then [||] else Array.make n_timers 0);
   }
 
-let now t = t.clock
-
-let state t id =
+let istate t id =
   match Node_id.Map.find_opt id t.states with
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
@@ -119,34 +181,32 @@ let event_node = function
   | Deliver (e, _) -> e.Graph.dst.Graph.node
   | Timer_expiry (id, _, _) | Sensor_change (id, _) | Fault_reset id -> id
 
-let schedule t ~time event =
+let ischedule t ~time event =
   (* The priority orders same-time events: scheduling order for Fifo,
      reversed for Lifo, seeded-random for Shuffled.  Perturbing it changes
      exactly the packet races whose outcome the network does not actually
      define (see {!tie_order}). *)
-  (match t.telemetry with
+  (match t.i_telemetry with
    | None -> ()
    | Some tel -> Telemetry.note_scheduled tel (event_node event));
-  t.seq <- t.seq + 1;
+  t.i_seq <- t.i_seq + 1;
   let priority =
-    match t.tie_order, t.tie_rng with
-    | Fifo, _ | (Lifo | Shuffled _), None -> t.seq
-    | Lifo, _ -> -t.seq
+    match t.i_tie_order, t.i_tie_rng with
+    | Fifo, _ | (Lifo | Shuffled _), None -> t.i_seq
+    | Lifo, _ -> -t.i_seq
     | Shuffled _, Some rng -> Prng.int rng 1_000_000_000
   in
-  t.queue <- Event_queue.add (time, priority, t.seq) event t.queue
+  t.queue <- Event_queue.add (time, priority, t.i_seq) event t.queue;
+  t.depth <- t.depth + 1
 
-let current_gen rt timer =
-  match Hashtbl.find_opt rt.timer_gen timer with
-  | Some gen -> gen
-  | None -> 0
+let current_gen rt timer = rt.timer_gen.(timer)
 
 let bump_gen rt timer =
-  let gen = current_gen rt timer + 1 in
-  Hashtbl.replace rt.timer_gen timer gen;
+  let gen = rt.timer_gen.(timer) + 1 in
+  rt.timer_gen.(timer) <- gen;
   gen
 
-let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
+let icreate ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
     ?telemetry g =
   let order = Graph.topological_order g in
   let states =
@@ -162,18 +222,19 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
   let t = {
     graph = g;
     states;
-    tie_order;
-    tie_rng;
-    edge_delay;
-    faults = Option.map Fault.start faults;
-    telemetry;
+    i_tie_order = tie_order;
+    i_tie_rng = tie_rng;
+    i_edge_delay = edge_delay;
+    i_faults = Option.map Fault.start faults;
+    i_telemetry = telemetry;
     queue = Event_queue.empty;
-    seq = 0;
-    clock = 0;
-    activations = 0;
-    packets = 0;
-    last_active = None;
-    output_trace = [];
+    depth = 0;
+    i_seq = 0;
+    i_clock = 0;
+    i_activations = 0;
+    i_packets = 0;
+    i_last_active = None;
+    i_trace = Tbuf.create ();
   }
   in
   (* Power-on sweep: each block evaluates once so that every output is
@@ -200,13 +261,10 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
           match slot with
           | Some v ->
             rt.output_latch.(port) <- v;
-            List.iter
+            Graph.iter_fanout_on g id port
               (fun e ->
-                if e.Graph.src.Graph.port = port then begin
-                  let dst_rt = Node_id.Map.find e.Graph.dst.Graph.node states in
-                  dst_rt.input_latch.(e.Graph.dst.Graph.port) <- v
-                end)
-              (Graph.fanout g id)
+                let dst_rt = Node_id.Map.find e.Graph.dst.Graph.node states in
+                dst_rt.input_latch.(e.Graph.dst.Graph.port) <- v)
           | None -> ())
         outcome.Behavior.Eval.outputs;
       List.iter
@@ -214,7 +272,7 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
           match action with
           | Behavior.Eval.Timer_set delay ->
             let gen = bump_gen rt timer in
-            schedule t ~time:delay (Timer_expiry (id, timer, gen))
+            ischedule t ~time:delay (Timer_expiry (id, timer, gen))
           | Behavior.Eval.Timer_cancelled -> ignore (bump_gen rt timer))
         outcome.Behavior.Eval.timers
   in
@@ -225,7 +283,7 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
     (fun plan ->
       List.iter
         (fun (id, time) ->
-          if Graph.mem g id then schedule t ~time (Fault_reset id))
+          if Graph.mem g id then ischedule t ~time (Fault_reset id))
         (Fault.resets plan))
     faults;
   t
@@ -233,50 +291,47 @@ let create ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
 
 (* Present [v] on output [port] of [id]; on change, send a packet down
    every connection of that port. *)
-let present t ~time id port v =
-  let rt = state t id in
+let ipresent t ~time id port v =
+  let rt = istate t id in
   (* A stuck-at output fault overrides the value before change
      detection: downstream never sees anything else on that port. *)
   let v =
-    match t.faults with
+    match t.i_faults with
     | None -> v
     | Some frt -> Fault.stuck_value frt ~time id ~port v
   in
   if not (Behavior.Ast.equal_value rt.output_latch.(port) v) then begin
     rt.output_latch.(port) <- v;
-    List.iter
+    Graph.iter_fanout_on t.graph id port
       (fun e ->
-        if e.Graph.src.Graph.port = port then begin
-          t.packets <- t.packets + 1;
-          Obs.Metrics.incr m_packets;
-          let deliveries, strike =
-            match t.faults with
-            | None -> ([ (0, v) ], Fault.no_strike)
-            | Some frt -> Fault.on_send frt ~time e v
-          in
-          (match t.telemetry with
-           | None -> ()
-           | Some tel ->
-             let base = max 1 (t.edge_delay e) in
-             Telemetry.note_send tel e ~strike
-               ~latencies:(List.map (fun (extra, _) -> base + extra)
-                             deliveries));
-          List.iter
-            (fun (extra, v') ->
-              schedule t
-                ~time:(time + max 1 (t.edge_delay e) + extra)
-                (Deliver (e, v')))
-            deliveries
-        end)
-      (Graph.fanout t.graph id)
+        t.i_packets <- t.i_packets + 1;
+        Obs.Metrics.incr m_packets;
+        let deliveries, strike =
+          match t.i_faults with
+          | None -> ([ (0, v) ], Fault.no_strike)
+          | Some frt -> Fault.on_send frt ~time e v
+        in
+        (match t.i_telemetry with
+         | None -> ()
+         | Some tel ->
+           let base = max 1 (t.i_edge_delay e) in
+           Telemetry.note_send tel e ~strike
+             ~latencies:(List.map (fun (extra, _) -> base + extra)
+                           deliveries));
+        List.iter
+          (fun (extra, v') ->
+            ischedule t
+              ~time:(time + max 1 (t.i_edge_delay e) + extra)
+              (Deliver (e, v')))
+          deliveries)
   end
 
-let activate t ~time id ~fired =
+let iactivate t ~time id ~fired =
   let d = Graph.descriptor t.graph id in
-  let rt = state t id in
-  t.activations <- t.activations + 1;
+  let rt = istate t id in
+  t.i_activations <- t.i_activations + 1;
   Obs.Metrics.incr m_activations;
-  (match t.telemetry with
+  (match t.i_telemetry with
    | None -> ()
    | Some tel -> Telemetry.note_activation tel id);
   let act =
@@ -289,7 +344,7 @@ let activate t ~time id ~fired =
   Array.iteri
     (fun port slot ->
       match slot with
-      | Some v -> present t ~time id port v
+      | Some v -> ipresent t ~time id port v
       | None -> ())
     outcome.Behavior.Eval.outputs;
   List.iter
@@ -297,18 +352,15 @@ let activate t ~time id ~fired =
       match action with
       | Behavior.Eval.Timer_set delay ->
         let gen = bump_gen rt timer in
-        schedule t ~time:(time + delay) (Timer_expiry (id, timer, gen))
+        ischedule t ~time:(time + delay) (Timer_expiry (id, timer, gen))
       | Behavior.Eval.Timer_cancelled -> ignore (bump_gen rt timer))
     outcome.Behavior.Eval.timers
 
-let record_output_change t ~time id v =
-  t.output_trace <- (time, id, v) :: t.output_trace
-
-let process t ~time event =
-  t.clock <- max t.clock time;
-  t.last_active <- Some (event_node event);
+let iprocess t ~time event =
+  t.i_clock <- max t.i_clock time;
+  t.i_last_active <- Some (event_node event);
   Obs.Metrics.incr m_events;
-  (match t.telemetry with
+  (match t.i_telemetry with
    | None -> ()
    | Some tel ->
      let kind =
@@ -323,18 +375,19 @@ let process t ~time event =
   | Deliver (e, v) ->
     Obs.Metrics.incr m_deliveries;
     let dst = e.Graph.dst.Graph.node in
-    let rt = state t dst in
+    let rt = istate t dst in
     let port = e.Graph.dst.Graph.port in
     let changed = not (Behavior.Ast.equal_value rt.input_latch.(port) v) in
     rt.input_latch.(port) <- v;
     (match Graph.kind t.graph dst with
-     | Eblock.Kind.Output -> if changed then record_output_change t ~time dst v
+     | Eblock.Kind.Output ->
+       if changed then Tbuf.push t.i_trace ~time dst v
      | Eblock.Kind.Sensor | Eblock.Kind.Compute | Eblock.Kind.Comm
-     | Eblock.Kind.Programmable -> activate t ~time dst ~fired:None)
+     | Eblock.Kind.Programmable -> iactivate t ~time dst ~fired:None)
   | Timer_expiry (id, timer, gen) ->
-    let rt = state t id in
-    if current_gen rt timer = gen then activate t ~time id ~fired:(Some timer)
-  | Sensor_change (id, b) -> present t ~time id 0 (Behavior.Ast.Bool b)
+    let rt = istate t id in
+    if current_gen rt timer = gen then iactivate t ~time id ~fired:(Some timer)
+  | Sensor_change (id, b) -> ipresent t ~time id 0 (Behavior.Ast.Bool b)
   | Fault_reset id ->
     (* Brownout: the block loses its volatile state — variable store and
        pending timers — and its outputs snap back to power-on values,
@@ -342,72 +395,835 @@ let process t ~time event =
        input registers hold), so the block recomputes on its next
        activation; until then its outputs may disagree with its inputs,
        which is exactly the degradation {!Degrade} classifies. *)
-    Option.iter Fault.note_reset t.faults;
+    Option.iter Fault.note_reset t.i_faults;
     let d = Graph.descriptor t.graph id in
-    let rt = state t id in
+    let rt = istate t id in
     rt.env <- Behavior.Eval.init d.Eblock.Descriptor.behavior;
-    let armed = Hashtbl.fold (fun timer _ acc -> timer :: acc) rt.timer_gen [] in
-    List.iter (fun timer -> ignore (bump_gen rt timer)) armed;
-    Array.iteri (fun port v -> present t ~time id port v)
+    Array.iteri
+      (fun timer gen -> if gen > 0 then rt.timer_gen.(timer) <- gen + 1)
+      rt.timer_gen;
+    Array.iteri (fun port v -> ipresent t ~time id port v)
       d.Eblock.Descriptor.output_init
 
-let step t =
+let istep t =
   match Event_queue.min_binding_opt t.queue with
   | None -> false
   | Some (((time, _, _) as key), event) ->
     t.queue <- Event_queue.remove key t.queue;
-    process t ~time event;
+    t.depth <- t.depth - 1;
+    iprocess t ~time event;
     true
 
-let run_until t horizon =
+let irun_until t horizon =
   let rec loop () =
     match Event_queue.min_binding_opt t.queue with
     | Some (((time, _, _) as key), event) when time <= horizon ->
       t.queue <- Event_queue.remove key t.queue;
-      process t ~time event;
+      t.depth <- t.depth - 1;
+      iprocess t ~time event;
       loop ()
-    | Some _ | None -> t.clock <- max t.clock horizon
+    | Some _ | None -> t.i_clock <- max t.i_clock horizon
   in
   loop ()
+
+(* ================================================================== *)
+(* Compiled kernel.  The same discrete-event semantics over compiled
+   data: behaviours are lowered once into closures over flat state
+   ({!Behavior.Compile}), node ids are compacted to [0 .. n-1] so every
+   per-node lookup is an array index, each (node, port) has its fanout
+   edges as a flat index slice, and the event queue is a binary heap of
+   slots in a grow-by-doubling struct-of-arrays store — no per-event
+   boxing, O(1) depth.  Event order is the identical lexicographic
+   (time, priority, seq) total order (seq is unique), so traces, PRNG
+   draw order, fault strikes, and telemetry are byte-identical to the
+   interpreter (test_kernel.ml). *)
+
+(* Event tags in [ev_tag]. *)
+let tag_deliver = 0
+let tag_timer = 1
+let tag_sensor = 2
+let tag_reset = 3
+
+(* The near-future window of the calendar: one bucket per tick.  Must
+   be a power of two (bucket = time land [wheel_mask]). *)
+let wheel_w = 256
+let wheel_mask = wheel_w - 1
+
+type comp = {
+  c_graph : Graph.t;
+  n_nodes : int;
+  ids : Node_id.t array;  (* dense index -> node id, ascending *)
+  idx_of : (Node_id.t, int) Hashtbl.t;
+  kinds : Eblock.Kind.t array;
+  descs : Eblock.Descriptor.t array;
+  progs : Behavior.Compile.t array;
+  pstates : Behavior.Compile.state array;
+  (* latches, int-encoded via Behavior.Compile.value_tag (0/1 Bool,
+     2 Int with payload in the parallel array): a delivery is two
+     unboxed stores, no write barrier *)
+  cin_k : int array array;
+  cin_n : int array array;
+  cout_k : int array array;
+  cout_n : int array array;
+  tgen : int array array;  (* per node, per timer slot: generation *)
+  (* dense edges, indexed in (source node asc, port asc, fanout order) *)
+  e_rec : Graph.edge array;
+  e_dst : int array;  (* dense destination node *)
+  e_dst_port : int array;
+  fo : int array array array;  (* node -> port -> edge indices *)
+  c_tie_order : tie_order;
+  c_tie_rng : Prng.t option;
+  c_edge_delay : Graph.edge -> int;
+  c_faults : Fault.runtime option;
+  c_telemetry : Telemetry.t option;
+  (* the event calendar: a struct-of-arrays store holding every pending
+     event's fields, addressed by slot; a timing wheel (one bucket per
+     tick over a [wheel_w]-tick window) for near events; and a
+     time-sorted overflow array for events beyond the window *)
+  mutable ev_time : int array;
+  mutable ev_prio : int array;
+  mutable ev_seq : int array;
+  mutable ev_tag : int array;
+  mutable ev_a : int array;  (* edge or node index; free-list link *)
+  mutable ev_b : int array;  (* timer slot *)
+  mutable ev_c : int array;  (* timer generation *)
+  mutable ev_vk : int array;  (* value, int-encoded: 0/1 = Bool, 2 = Int *)
+  mutable ev_vn : int array;  (* Int payload when ev_vk = 2 *)
+  mutable store_len : int;
+  mutable free_ev : int;  (* free-list head in the store, -1 none *)
+  buckets : int array array;  (* wheel: per-tick slot lists *)
+  b_len : int array;
+  b_dirty : bool array;
+      (* bucket holds an append that broke (priority, seq) order —
+         sorted lazily when the bucket drains *)
+  mutable cursor : int;
+      (* wheel window start; also the time of the bucket being drained.
+         Every wheel event has time in [cursor, cursor + wheel_w), so
+         bucket index (time land mask) identifies the time uniquely and
+         entries of one bucket all share it. *)
+  mutable cur_pos : int;  (* drained prefix of the cursor's bucket *)
+  mutable wheel_count : int;
+  (* overflow: slots with times >= cursor + wheel_w, kept sorted by
+     time ascending in [ovf_head, ovf_len).  Pre-scheduled stimulus
+     scripts arrive in ascending time order, so pushes are O(1)
+     appends and draining into the wheel is a head-pointer bump —
+     the pattern a binary heap serves worst (every event paid two
+     log-n, cache-hostile sift passes).  An out-of-order push costs
+     a binary search plus a memmove; within one time the array order
+     is arbitrary, because (priority, seq) order is restored by the
+     bucket's lazy sort. *)
+  mutable ovf : int array;
+  mutable ovf_len : int;
+  mutable ovf_head : int;
+  mutable c_seq : int;
+  mutable c_clock : int;
+  mutable c_activations : int;
+  mutable c_packets : int;
+  (* per-event metric increments batched into plain ints — the global
+     counters are atomics, and a lock-prefixed add per event is pure
+     drain-loop overhead; flushed whenever control returns to the
+     caller (drain exit, run_until, public step) *)
+  mutable pm_events : int;
+  mutable pm_deliveries : int;
+  mutable pm_packets : int;
+  mutable pm_activations : int;
+  mutable c_last : int;  (* dense index of the last active node, -1 *)
+  c_trace : Tbuf.t;
+}
+
+(* --- event store + overflow ---------------------------------------- *)
+
+(* Unsafe indexing for the kernel's inner loop: every index below is an
+   engine-maintained invariant (slots < store_len, dense node/edge/port
+   indices built at create time, bucket indices masked), so the bounds
+   checks only cost.  The interpreter oracle keeps checked accesses. *)
+external ( .%() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .%()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
+let ev_grow t =
+  let cap = Array.length t.ev_time in
+  let ncap = 2 * cap in
+  let grow a zero =
+    let a' = Array.make ncap zero in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.ev_time <- grow t.ev_time 0;
+  t.ev_prio <- grow t.ev_prio 0;
+  t.ev_seq <- grow t.ev_seq 0;
+  t.ev_tag <- grow t.ev_tag 0;
+  t.ev_a <- grow t.ev_a 0;
+  t.ev_b <- grow t.ev_b 0;
+  t.ev_c <- grow t.ev_c 0;
+  t.ev_vk <- grow t.ev_vk 0;
+  t.ev_vn <- grow t.ev_vn 0
+
+let ev_alloc t =
+  if t.free_ev >= 0 then begin
+    let slot = t.free_ev in
+    t.free_ev <- t.ev_a.%(slot);
+    slot
+  end
+  else begin
+    if t.store_len = Array.length t.ev_time then ev_grow t;
+    let slot = t.store_len in
+    t.store_len <- t.store_len + 1;
+    slot
+  end
+
+(* The freed slot's boxed value is left in place: it stays live only
+   until the slot is reused, the store never shrinks, and skipping the
+   write saves a [caml_modify] barrier on every event. *)
+let ev_free t slot =
+  t.ev_a.%(slot) <- t.free_ev;
+  t.free_ev <- slot
+
+let ovf_count t = t.ovf_len - t.ovf_head
+
+(* Insert a slot into the sorted overflow.  The ascending-stream case
+   (time >= the current last entry) is a plain append; otherwise binary
+   search by time and shift the tail one right. *)
+let ovf_push t slot =
+  (if t.ovf_len = Array.length t.ovf then
+     if t.ovf_head > 0 then begin
+       (* reclaim the drained prefix before growing *)
+       let n = ovf_count t in
+       Array.blit t.ovf t.ovf_head t.ovf 0 n;
+       t.ovf_head <- 0;
+       t.ovf_len <- n
+     end
+     else begin
+       let cap = Array.length t.ovf in
+       let a = Array.make (2 * cap) 0 in
+       Array.blit t.ovf 0 a 0 cap;
+       t.ovf <- a
+     end);
+  let a = t.ovf in
+  let time = t.ev_time.%(slot) in
+  if t.ovf_len = t.ovf_head || t.ev_time.%(a.%(t.ovf_len - 1)) <= time then begin
+    a.%(t.ovf_len) <- slot;
+    t.ovf_len <- t.ovf_len + 1
+  end
+  else begin
+    (* upper bound: first index whose time exceeds [time] *)
+    let lo = ref t.ovf_head and hi = ref t.ovf_len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.ev_time.%(a.%(mid)) <= time then lo := mid + 1 else hi := mid
+    done;
+    Array.blit a !lo a (!lo + 1) (t.ovf_len - !lo);
+    a.%(!lo) <- slot;
+    t.ovf_len <- t.ovf_len + 1
+  end
+
+(* --- the timing wheel ---------------------------------------------- *)
+
+(* Entries of one bucket share their time (window width = bucket count),
+   so within-bucket order is (priority, seq) alone. *)
+let key_lt t s1 s2 =
+  let p1 = t.ev_prio.%(s1) and p2 = t.ev_prio.%(s2) in
+  p1 < p2 || (p1 = p2 && t.ev_seq.%(s1) < t.ev_seq.%(s2))
+
+let wheel_append t slot =
+  let time = t.ev_time.%(slot) in
+  let b = time land wheel_mask in
+  let len = t.b_len.%(b) in
+  let arr =
+    let arr = t.buckets.%(b) in
+    if len < Array.length arr then arr
+    else begin
+      let arr' = Array.make (2 * len) 0 in
+      Array.blit arr 0 arr' 0 len;
+      t.buckets.%(b) <- arr';
+      arr'
+    end
+  in
+  arr.%(len) <- slot;
+  t.b_len.%(b) <- len + 1;
+  t.wheel_count <- t.wheel_count + 1;
+  (* appends almost always arrive in (priority, seq) order (Fifo always:
+     priority = seq); the rare out-of-order append (Lifo, Shuffled, or
+     a migration mixing with direct pushes) marks the bucket for a lazy
+     sort at drain time *)
+  let start = if time = t.cursor then t.cur_pos else 0 in
+  if len > start && key_lt t slot arr.%(len - 1) then t.b_dirty.%(b) <- true
+
+(* Insertion sort of the pending suffix — buckets are small and almost
+   sorted when this runs at all. *)
+let sort_bucket t b lo =
+  let arr = t.buckets.%(b) in
+  for i = lo + 1 to t.b_len.%(b) - 1 do
+    let s = arr.%(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && key_lt t s arr.%(!j) do
+      arr.%(!j + 1) <- arr.%(!j);
+      decr j
+    done;
+    arr.%(!j + 1) <- s
+  done;
+  t.b_dirty.%(b) <- false
+
+(* Advance the cursor to the earliest pending event's time.  Requires a
+   pending event.  Wheel events lie within [cursor, cursor + wheel_w),
+   so tick-by-tick advance finds one in at most wheel_w empty-bucket
+   probes; with the wheel empty the cursor jumps straight to the
+   overflow's minimum (always >= cursor + wheel_w).  Every advance
+   migrates the overflow prefix the window newly covers into its
+   buckets — a head-pointer walk, since the overflow is time-sorted.
+
+   Only the pop path calls this, so between engine operations the
+   cursor rests at the last processed event's time (<= clock) and a
+   schedule can never land behind it. *)
+let rec calendar_advance t =
+  let b = t.cursor land wheel_mask in
+  if t.cur_pos >= t.b_len.%(b) then begin
+    if t.wheel_count = 0 then t.cursor <- t.ev_time.%(t.ovf.%(t.ovf_head))
+    else t.cursor <- t.cursor + 1;
+    let horizon = t.cursor + wheel_w in
+    while
+      t.ovf_head < t.ovf_len && t.ev_time.%(t.ovf.%(t.ovf_head)) < horizon
+    do
+      wheel_append t t.ovf.%(t.ovf_head);
+      t.ovf_head <- t.ovf_head + 1
+    done;
+    if t.ovf_head = t.ovf_len then begin
+      t.ovf_head <- 0;
+      t.ovf_len <- 0
+    end;
+    calendar_advance t
+  end
+
+(* Earliest pending time without moving the cursor ([run_until]'s
+   horizon check); [max_int] when nothing is pending.  The overflow
+   cannot beat the wheel: its times are all >= cursor + wheel_w, and a
+   nonempty wheel yields within the window. *)
+let cnext_time t =
+  if t.wheel_count = 0 then
+    if ovf_count t = 0 then max_int else t.ev_time.%(t.ovf.%(t.ovf_head))
+  else begin
+    let rec scan time =
+      let b = time land wheel_mask in
+      let pos = if time = t.cursor then t.cur_pos else 0 in
+      if pos < t.b_len.%(b) then time else scan (time + 1)
+    in
+    scan t.cursor
+  end
+
+(* --- scheduling ---------------------------------------------------- *)
+
+let cschedule t ~time ~tag ~a ~b ~c ~vk ~vn =
+  (match t.c_telemetry with
+   | None -> ()
+   | Some tel ->
+     let ni = if tag = tag_deliver then t.e_dst.%(a) else a in
+     Telemetry.note_scheduled tel t.ids.%(ni));
+  t.c_seq <- t.c_seq + 1;
+  let priority =
+    match t.c_tie_order, t.c_tie_rng with
+    | Fifo, _ | (Lifo | Shuffled _), None -> t.c_seq
+    | Lifo, _ -> -t.c_seq
+    | Shuffled _, Some rng -> Prng.int rng 1_000_000_000
+  in
+  let slot = ev_alloc t in
+  t.ev_time.%(slot) <- time;
+  t.ev_prio.%(slot) <- priority;
+  t.ev_seq.%(slot) <- t.c_seq;
+  t.ev_tag.%(slot) <- tag;
+  t.ev_a.%(slot) <- a;
+  t.ev_b.%(slot) <- b;
+  t.ev_c.%(slot) <- c;
+  t.ev_vk.%(slot) <- vk;
+  t.ev_vn.%(slot) <- vn;
+  if time < t.cursor + wheel_w then wheel_append t slot else ovf_push t slot
+
+(* --- the hot path -------------------------------------------------- *)
+
+let cpresent t ~time ni port v =
+  let v =
+    match t.c_faults with
+    | None -> v
+    | Some frt -> Fault.stuck_value frt ~time t.ids.%(ni) ~port v
+  in
+  let vk = Behavior.Compile.value_tag v in
+  let vn = Behavior.Compile.value_payload v in
+  let ok = t.cout_k.%(ni) in
+  let changed =
+    ok.%(port) <> vk || (vk = 2 && t.cout_n.%(ni).%(port) <> vn)
+  in
+  if changed then begin
+    ok.%(port) <- vk;
+    t.cout_n.%(ni).%(port) <- vn;
+    let edges = t.fo.%(ni).%(port) in
+    for k = 0 to Array.length edges - 1 do
+      let ei = edges.%(k) in
+      t.c_packets <- t.c_packets + 1;
+      t.pm_packets <- t.pm_packets + 1;
+      let e = t.e_rec.%(ei) in
+      match t.c_faults with
+      | None ->
+        (* fast path: one delivery, no strike, no list *)
+        let d = t.c_edge_delay e in
+        let d = if d < 1 then 1 else d in
+        (match t.c_telemetry with
+         | None -> ()
+         | Some tel ->
+           Telemetry.note_send tel e ~strike:Fault.no_strike ~latencies:[ d ]);
+        cschedule t ~time:(time + d) ~tag:tag_deliver ~a:ei ~b:0 ~c:0 ~vk ~vn
+      | Some frt ->
+        let deliveries, strike = Fault.on_send frt ~time e v in
+        (match t.c_telemetry with
+         | None -> ()
+         | Some tel ->
+           let base = max 1 (t.c_edge_delay e) in
+           Telemetry.note_send tel e ~strike
+             ~latencies:(List.map (fun (extra, _) -> base + extra)
+                           deliveries));
+        List.iter
+          (fun (extra, v') ->
+            cschedule t
+              ~time:(time + max 1 (t.c_edge_delay e) + extra)
+              ~tag:tag_deliver ~a:ei ~b:0 ~c:0
+              ~vk:(Behavior.Compile.value_tag v')
+              ~vn:(Behavior.Compile.value_payload v'))
+          deliveries
+    done
+  end
+
+let cactivate t ~time ni ~fired =
+  t.c_activations <- t.c_activations + 1;
+  t.pm_activations <- t.pm_activations + 1;
+  (match t.c_telemetry with
+   | None -> ()
+   | Some tel -> Telemetry.note_activation tel t.ids.%(ni));
+  let st = t.pstates.%(ni) in
+  Behavior.Compile.run_bound t.progs.%(ni) st ~fired;
+  (* flush the scratch ourselves — ascending ports, then ascending
+     timer slots, exactly [Compile.activate]'s order — so an
+     activation involves no closure dispatch at all *)
+  let out_set = st.Behavior.Compile.out_set in
+  let out_val = st.Behavior.Compile.out_val in
+  for port = 0 to Array.length out_set - 1 do
+    if out_set.%(port) then cpresent t ~time ni port out_val.%(port)
+  done;
+  let tmr_act = st.Behavior.Compile.tmr_act in
+  if Array.length tmr_act > 0 then begin
+    let tg = t.tgen.%(ni) in
+    for slot = 0 to Array.length tmr_act - 1 do
+      match tmr_act.%(slot) with
+      | 1 ->
+        let gen = tg.%(slot) + 1 in
+        tg.%(slot) <- gen;
+        cschedule t
+          ~time:(time + st.Behavior.Compile.tmr_delay.%(slot))
+          ~tag:tag_timer ~a:ni ~b:slot ~c:gen ~vk:0 ~vn:0
+      | 2 -> tg.%(slot) <- tg.%(slot) + 1
+      | _ -> ()
+    done
+  end
+
+let cprocess t ~time ~tag ~a ~b ~c ~vk ~vn =
+  if time > t.c_clock then t.c_clock <- time;
+  let ni = if tag = tag_deliver then t.e_dst.%(a) else a in
+  t.c_last <- ni;
+  t.pm_events <- t.pm_events + 1;
+  (match t.c_telemetry with
+   | None -> ()
+   | Some tel ->
+     let kind =
+       if tag = tag_deliver then Telemetry.Delivered t.e_rec.%(a)
+       else if tag = tag_timer then Telemetry.Timer_fired
+       else if tag = tag_sensor then Telemetry.Sensor_set
+       else Telemetry.Reset
+     in
+     Telemetry.note_event tel ~time t.ids.%(ni) kind);
+  if tag = tag_deliver then begin
+    t.pm_deliveries <- t.pm_deliveries + 1;
+    let port = t.e_dst_port.%(a) in
+    let ik = t.cin_k.%(ni) in
+    let changed =
+      ik.%(port) <> vk || (vk = 2 && t.cin_n.%(ni).%(port) <> vn)
+    in
+    ik.%(port) <- vk;
+    t.cin_n.%(ni).%(port) <- vn;
+    match t.kinds.%(ni) with
+    | Eblock.Kind.Output ->
+      if changed then
+        Tbuf.push t.c_trace ~time t.ids.%(ni)
+          (Behavior.Compile.value_of_code vk vn)
+    | Eblock.Kind.Sensor | Eblock.Kind.Compute | Eblock.Kind.Comm
+    | Eblock.Kind.Programmable -> cactivate t ~time ni ~fired:(-1)
+  end
+  else if tag = tag_timer then begin
+    if t.tgen.%(ni).%(b) = c then cactivate t ~time ni ~fired:b
+  end
+  else if tag = tag_sensor then
+    cpresent t ~time ni 0 (Behavior.Compile.value_of_code vk vn)
+  else begin
+    (* brownout, as in the interpreter: volatile state and pending
+       timers are lost, outputs snap back to power-on values *)
+    Option.iter Fault.note_reset t.c_faults;
+    Behavior.Compile.reset_state t.progs.%(ni) t.pstates.%(ni);
+    let tg = t.tgen.%(ni) in
+    for s = 0 to Array.length tg - 1 do
+      if tg.%(s) > 0 then tg.%(s) <- tg.%(s) + 1
+    done;
+    Array.iteri (fun port v -> cpresent t ~time ni port v)
+      t.descs.%(ni).Eblock.Descriptor.output_init
+  end
+
+let cflush_metrics t =
+  if t.pm_events > 0 then begin
+    Obs.Metrics.add m_events t.pm_events;
+    t.pm_events <- 0
+  end;
+  if t.pm_deliveries > 0 then begin
+    Obs.Metrics.add m_deliveries t.pm_deliveries;
+    t.pm_deliveries <- 0
+  end;
+  if t.pm_packets > 0 then begin
+    Obs.Metrics.add m_packets t.pm_packets;
+    t.pm_packets <- 0
+  end;
+  if t.pm_activations > 0 then begin
+    Obs.Metrics.add m_activations t.pm_activations;
+    t.pm_activations <- 0
+  end
+
+let cstep t =
+  if t.wheel_count + t.ovf_len - t.ovf_head = 0 then false
+  else begin
+    calendar_advance t;
+    let b = t.cursor land wheel_mask in
+    if t.b_dirty.%(b) then sort_bucket t b t.cur_pos;
+    let slot = t.buckets.%(b).%(t.cur_pos) in
+    let pos = t.cur_pos + 1 in
+    if pos >= t.b_len.%(b) then begin
+      t.b_len.%(b) <- 0;
+      t.cur_pos <- 0
+    end
+    else t.cur_pos <- pos;
+    t.wheel_count <- t.wheel_count - 1;
+    let time = t.ev_time.%(slot) in
+    let tag = t.ev_tag.%(slot) in
+    let a = t.ev_a.%(slot) in
+    let b = t.ev_b.%(slot) in
+    let c = t.ev_c.%(slot) in
+    let vk = t.ev_vk.%(slot) in
+    let vn = t.ev_vn.%(slot) in
+    ev_free t slot;
+    cprocess t ~time ~tag ~a ~b ~c ~vk ~vn;
+    true
+  end
+
+let crun_until t horizon =
+  let rec loop () =
+    if t.wheel_count + t.ovf_len - t.ovf_head > 0 && cnext_time t <= horizon
+    then begin
+      ignore (cstep t);
+      loop ()
+    end
+    else begin
+      if horizon > t.c_clock then t.c_clock <- horizon;
+      cflush_metrics t
+    end
+  in
+  loop ()
+
+(* --- construction -------------------------------------------------- *)
+
+let ccreate ?(tie_order = Fifo) ?(edge_delay = fun _ -> wire_delay) ?faults
+    ?telemetry g =
+  let order = Graph.topological_order g in
+  let ids = Array.of_list (Graph.node_ids g) in
+  let n_nodes = Array.length ids in
+  let idx_of = Hashtbl.create (2 * n_nodes) in
+  Array.iteri (fun i id -> Hashtbl.replace idx_of id i) ids;
+  let descs = Array.map (fun id -> Graph.descriptor g id) ids in
+  let kinds = Array.map (fun d -> d.Eblock.Descriptor.kind) descs in
+  let progs =
+    Array.map
+      (fun (d : Eblock.Descriptor.t) ->
+        Behavior.Compile.compile d.behavior ~n_outputs:d.n_outputs)
+      descs
+  in
+  let pstates = Array.map Behavior.Compile.fresh_state progs in
+  let in_init i port =
+    let id = ids.(i) in
+    match Graph.driver g id port with
+    | Some src ->
+      let src_desc = Graph.descriptor g src.Graph.node in
+      src_desc.Eblock.Descriptor.output_init.(src.Graph.port)
+    | None -> dummy_value
+  in
+  let cin_k =
+    Array.mapi
+      (fun i (d : Eblock.Descriptor.t) ->
+        Array.init d.n_inputs (fun port ->
+            Behavior.Compile.value_tag (in_init i port)))
+      descs
+  in
+  let cin_n =
+    Array.mapi
+      (fun i (d : Eblock.Descriptor.t) ->
+        Array.init d.n_inputs (fun port ->
+            Behavior.Compile.value_payload (in_init i port)))
+      descs
+  in
+  let cout_k =
+    Array.map
+      (fun (d : Eblock.Descriptor.t) ->
+        Array.map Behavior.Compile.value_tag d.output_init)
+      descs
+  in
+  let cout_n =
+    Array.map
+      (fun (d : Eblock.Descriptor.t) ->
+        Array.map Behavior.Compile.value_payload d.output_init)
+      descs
+  in
+  let tgen =
+    Array.map
+      (fun p ->
+        let n = Behavior.Compile.n_timers p in
+        if n = 0 then [||] else Array.make n 0)
+      progs
+  in
+  (* dense edge tables, in (node asc, port asc, fanout order) *)
+  let edges = ref [] and n_edges = ref 0 in
+  let fo =
+    Array.mapi
+      (fun i (d : Eblock.Descriptor.t) ->
+        Array.init d.n_outputs (fun port ->
+            let es = Graph.fanout_on g ids.(i) port in
+            Array.of_list
+              (List.map
+                 (fun e ->
+                   let ei = !n_edges in
+                   incr n_edges;
+                   edges := e :: !edges;
+                   ei)
+                 es)))
+      descs
+  in
+  let e_rec = Array.of_list (List.rev !edges) in
+  let e_dst =
+    Array.map (fun e -> Hashtbl.find idx_of e.Graph.dst.Graph.node) e_rec
+  in
+  let e_dst_port = Array.map (fun e -> e.Graph.dst.Graph.port) e_rec in
+  let tie_rng =
+    match tie_order with
+    | Shuffled seed -> Some (Prng.create seed)
+    | Fifo | Lifo -> None
+  in
+  let t = {
+    c_graph = g;
+    n_nodes;
+    ids;
+    idx_of;
+    kinds;
+    descs;
+    progs;
+    pstates;
+    cin_k;
+    cin_n;
+    cout_k;
+    cout_n;
+    tgen;
+    e_rec;
+    e_dst;
+    e_dst_port;
+    fo;
+    c_tie_order = tie_order;
+    c_tie_rng = tie_rng;
+    c_edge_delay = edge_delay;
+    c_faults = Option.map Fault.start faults;
+    c_telemetry = telemetry;
+    ev_time = Array.make 64 0;
+    ev_prio = Array.make 64 0;
+    ev_seq = Array.make 64 0;
+    ev_tag = Array.make 64 0;
+    ev_a = Array.make 64 0;
+    ev_b = Array.make 64 0;
+    ev_c = Array.make 64 0;
+    ev_vk = Array.make 64 0;
+    ev_vn = Array.make 64 0;
+    store_len = 0;
+    free_ev = -1;
+    ovf = Array.make 64 0;
+    ovf_len = 0;
+    ovf_head = 0;
+    buckets = Array.init wheel_w (fun _ -> Array.make 8 0);
+    b_len = Array.make wheel_w 0;
+    b_dirty = Array.make wheel_w false;
+    cursor = 0;
+    cur_pos = 0;
+    wheel_count = 0;
+    c_seq = 0;
+    c_clock = 0;
+    c_activations = 0;
+    c_packets = 0;
+    pm_events = 0;
+    pm_deliveries = 0;
+    pm_packets = 0;
+    pm_activations = 0;
+    c_last = -1;
+    c_trace = Tbuf.create ();
+  }
+  in
+  (* Power-on sweep, mirroring the interpreter: latch-to-latch in
+     topological order, no packets, no clock advance; timers scheduled
+     from time 0 (same seq / tie-PRNG draw order). *)
+  List.iter
+    (fun id ->
+      let ni = Hashtbl.find idx_of id in
+      match kinds.(ni) with
+      | Eblock.Kind.Sensor | Eblock.Kind.Output -> ()
+      | Eblock.Kind.Compute | Eblock.Kind.Comm | Eblock.Kind.Programmable ->
+        let inputs =
+          Array.init
+            (Array.length cin_k.(ni))
+            (fun port ->
+              Behavior.Compile.value_of_code cin_k.(ni).(port)
+                cin_n.(ni).(port))
+        in
+        Behavior.Compile.activate progs.(ni) pstates.(ni) ~inputs
+          ~fired:(-1)
+          ~on_output:(fun port v ->
+            let vk = Behavior.Compile.value_tag v in
+            let vn = Behavior.Compile.value_payload v in
+            cout_k.(ni).(port) <- vk;
+            cout_n.(ni).(port) <- vn;
+            let es = fo.(ni).(port) in
+            for k = 0 to Array.length es - 1 do
+              let ei = es.(k) in
+              cin_k.(t.e_dst.(ei)).(t.e_dst_port.(ei)) <- vk;
+              cin_n.(t.e_dst.(ei)).(t.e_dst_port.(ei)) <- vn
+            done)
+          ~on_timer_set:(fun slot delay ->
+            let tg = tgen.(ni) in
+            let gen = tg.(slot) + 1 in
+            tg.(slot) <- gen;
+            cschedule t ~time:delay ~tag:tag_timer ~a:ni ~b:slot ~c:gen
+              ~vk:0 ~vn:0)
+          ~on_timer_cancel:(fun slot ->
+            let tg = tgen.(ni) in
+            tg.(slot) <- tg.(slot) + 1))
+    order;
+  Option.iter
+    (fun plan ->
+      List.iter
+        (fun (id, time) ->
+          if Graph.mem g id then
+            cschedule t ~time ~tag:tag_reset ~a:(Hashtbl.find idx_of id) ~b:0
+              ~c:0 ~vk:0 ~vn:0)
+        (Fault.resets plan))
+    faults;
+  (* install the long-lived input latches; from here on activations go
+     through [Compile.run_bound] and never touch the latch pointer *)
+  for ni = 0 to n_nodes - 1 do
+    Behavior.Compile.bind_inputs pstates.(ni) ~tags:cin_k.(ni)
+      ~payloads:cin_n.(ni)
+  done;
+  t
+
+let cindex t id =
+  match Hashtbl.find_opt t.idx_of id with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
+
+(* ================================================================== *)
+(* The public engine: one of the two kernels behind one API. *)
+
+type t =
+  | I of interp
+  | C of comp
+
+let kernel = function I _ -> Interpreted | C _ -> Compiled
+
+let default_kernel () =
+  match Sys.getenv_opt "PAREDOWN_SIM_KERNEL" with
+  | Some ("interpreted" | "interpreter" | "interp") -> Interpreted
+  | Some ("compiled" | "compile") -> Compiled
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf
+         "PAREDOWN_SIM_KERNEL=%s (expected 'compiled' or 'interpreted')"
+         other)
+  | None -> Compiled
+
+let create ?kernel ?tie_order ?edge_delay ?faults ?telemetry g =
+  let kernel =
+    match kernel with Some k -> k | None -> default_kernel ()
+  in
+  match kernel with
+  | Interpreted -> I (icreate ?tie_order ?edge_delay ?faults ?telemetry g)
+  | Compiled -> C (ccreate ?tie_order ?edge_delay ?faults ?telemetry g)
+
+let now = function I t -> t.i_clock | C t -> t.c_clock
+
+let step = function
+  | I t -> istep t
+  | C t ->
+    let stepped = cstep t in
+    cflush_metrics t;
+    stepped
+
+let run_until t horizon =
+  match t with I t -> irun_until t horizon | C t -> crun_until t horizon
+
+let queue_depth = function
+  | I t -> t.depth
+  | C t -> t.wheel_count + ovf_count t
+
+let last_active = function
+  | I t -> t.i_last_active
+  | C t -> if t.c_last < 0 then None else Some t.ids.(t.c_last)
+
+let telemetry_of = function I t -> t.i_telemetry | C t -> t.c_telemetry
 
 let settle ?(limit = 100_000) t =
   Obs.Trace.with_span "sim.settle" @@ fun () ->
   let t0 = Obs.Clock.now_ns () in
-  let rec loop remaining =
-    if remaining = 0 then begin
-      let queue_depth = Event_queue.cardinal t.queue in
-      if Obs.Journal.enabled () then
-        Obs.Journal.emit
-          (Obs.Journal.Event_limit
-             { clock = t.clock; queue_depth; last_node = t.last_active });
-      Obs.Journal.note_failure
-        (Printf.sprintf
-           "simulation event limit exceeded (clock %d, %d events pending)"
-           t.clock queue_depth);
-      raise
-        (Event_limit_exceeded
-           {
-             clock = t.clock;
-             queue_depth;
-             last_node = t.last_active;
-           })
-    end
-    else if step t then loop (remaining - 1)
-    else begin
-      Obs.Metrics.incr m_settles;
-      Obs.Metrics.add m_settle_iterations (limit - remaining);
-      (match t.telemetry with
-       | None -> ()
-       | Some tel -> Telemetry.note_settle tel);
-      Obs.Histogram.observe h_settle_ns
-        (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
-      Obs.Histogram.observe_int h_settle_events (limit - remaining)
-    end
+  (* drain without the per-event kernel dispatch of [step] *)
+  let drained =
+    match t with
+    | I it ->
+      let rec go n = if n = limit || not (istep it) then n else go (n + 1) in
+      go 0
+    | C ct ->
+      let rec go n = if n = limit || not (cstep ct) then n else go (n + 1) in
+      let n = go 0 in
+      cflush_metrics ct;
+      n
   in
-  loop limit
+  if drained = limit then begin
+    let queue_depth = queue_depth t in
+    let clock = now t in
+    let last_node = last_active t in
+    if Obs.Journal.enabled () then
+      Obs.Journal.emit
+        (Obs.Journal.Event_limit { clock; queue_depth; last_node });
+    Obs.Journal.note_failure
+      (Printf.sprintf
+         "simulation event limit exceeded (clock %d, %d events pending)"
+         clock queue_depth);
+    raise (Event_limit_exceeded { clock; queue_depth; last_node })
+  end
+  else begin
+    Obs.Metrics.incr m_settles;
+    Obs.Metrics.add m_settle_iterations drained;
+    (match telemetry_of t with
+     | None -> ()
+     | Some tel -> Telemetry.note_settle tel);
+    Obs.Histogram.observe h_settle_ns
+      (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
+    Obs.Histogram.observe_int h_settle_events drained
+  end
+
+let graph_of = function I t -> t.graph | C t -> t.c_graph
 
 let require_sensor t id =
-  match Graph.kind t.graph id with
+  match Graph.kind (graph_of t) id with
   | Eblock.Kind.Sensor -> ()
   | Eblock.Kind.Output | Eblock.Kind.Compute | Eblock.Kind.Comm
   | Eblock.Kind.Programmable ->
@@ -415,32 +1231,56 @@ let require_sensor t id =
 
 let set_sensor_at t ~time id b =
   require_sensor t id;
-  if time < t.clock then invalid_arg "Engine.set_sensor_at: time in the past";
-  schedule t ~time (Sensor_change (id, b))
+  if time < now t then invalid_arg "Engine.set_sensor_at: time in the past";
+  match t with
+  | I t -> ischedule t ~time (Sensor_change (id, b))
+  | C t ->
+    cschedule t ~time ~tag:tag_sensor ~a:(cindex t id) ~b:0 ~c:0
+      ~vk:(Bool.to_int b) ~vn:0
 
-let set_sensor t id b = set_sensor_at t ~time:t.clock id b
+let set_sensor t id b = set_sensor_at t ~time:(now t) id b
 
 let output_value t id =
-  match Graph.kind t.graph id with
-  | Eblock.Kind.Output -> (state t id).input_latch.(0)
+  match Graph.kind (graph_of t) id with
+  | Eblock.Kind.Output ->
+    (match t with
+     | I t -> (istate t id).input_latch.(0)
+     | C t ->
+       let ni = cindex t id in
+       Behavior.Compile.value_of_code t.cin_k.(ni).(0) t.cin_n.(ni).(0))
   | Eblock.Kind.Sensor | Eblock.Kind.Compute | Eblock.Kind.Comm
   | Eblock.Kind.Programmable ->
     invalid_arg
       (Printf.sprintf "Engine.output_value: node %d is not a primary output" id)
 
 let output_values t =
-  List.map (fun id -> (id, output_value t id)) (Graph.primary_outputs t.graph)
+  List.map (fun id -> (id, output_value t id))
+    (Graph.primary_outputs (graph_of t))
 
 let port_value t id port =
-  let rt = state t id in
-  if port < 0 || port >= Array.length rt.output_latch then
-    invalid_arg "Engine.port_value: port out of range";
-  rt.output_latch.(port)
+  match t with
+  | I t ->
+    let latch = (istate t id).output_latch in
+    if port < 0 || port >= Array.length latch then
+      invalid_arg "Engine.port_value: port out of range";
+    latch.(port)
+  | C t ->
+    let ni = cindex t id in
+    let k = t.cout_k.(ni) in
+    if port < 0 || port >= Array.length k then
+      invalid_arg "Engine.port_value: port out of range";
+    Behavior.Compile.value_of_code k.(port) t.cout_n.(ni).(port)
 
-let trace t = List.rev t.output_trace
+let trace = function
+  | I t -> Tbuf.to_list t.i_trace
+  | C t -> Tbuf.to_list t.c_trace
 
-let activation_count t = t.activations
+let activation_count = function
+  | I t -> t.i_activations
+  | C t -> t.c_activations
 
-let packet_count t = t.packets
+let packet_count = function I t -> t.i_packets | C t -> t.c_packets
 
-let fault_stats t = Option.map Fault.stats t.faults
+let fault_stats = function
+  | I t -> Option.map Fault.stats t.i_faults
+  | C t -> Option.map Fault.stats t.c_faults

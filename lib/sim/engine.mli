@@ -21,6 +21,18 @@ type tie_order =
   | Lifo  (** same-time events run in reverse scheduling order *)
   | Shuffled of int  (** same-time events run in seeded-random order *)
 
+type kernel =
+  | Interpreted
+      (** the oracle: behaviours interpreted through {!Behavior.Eval},
+          events ordered by a functional map *)
+  | Compiled
+      (** the default: behaviours lowered once to closures
+          ({!Behavior.Compile}), dense node/edge addressing, and a
+          binary-heap event calendar over a flat preallocated store.
+          Byte-identical to [Interpreted] — same traces, counters,
+          fault strikes, PRNG draw order, telemetry — only faster
+          (test/test_kernel.ml holds the two against each other). *)
+
 exception
   Event_limit_exceeded of {
     clock : int;  (** simulated time when the limit was hit *)
@@ -36,7 +48,7 @@ val wire_delay : int
 (** Ticks a packet needs to traverse one connection (1). *)
 
 val create :
-  ?tie_order:tie_order -> ?edge_delay:(Graph.edge -> int) ->
+  ?kernel:kernel -> ?tie_order:tie_order -> ?edge_delay:(Graph.edge -> int) ->
   ?faults:Fault.plan -> ?telemetry:Telemetry.t -> Graph.t -> t
 (** Initialise a simulation.  Latches start from the descriptors' power-on
     values, then every block evaluates once in topological order (the
@@ -67,7 +79,16 @@ val create :
     high-water marks, delivery latencies).  Same contract as [faults]:
     a collector never changes the simulation's behaviour, and without
     one every hook is a single branch on an immutable [None] — the
-    zero-cost-when-off path. *)
+    zero-cost-when-off path.
+
+    [kernel] selects the execution engine; the default is [Compiled],
+    overridable process-wide with [PAREDOWN_SIM_KERNEL=interpreted|compiled]
+    (an unknown value raises [Invalid_argument]).  Every observable —
+    trace, counters, fault stats, telemetry, error messages — is
+    independent of the choice. *)
+
+val kernel : t -> kernel
+(** Which kernel this engine runs on. *)
 
 val now : t -> int
 

@@ -1,0 +1,267 @@
+(* Compiled-vs-interpreted kernel equivalence.
+
+   The compiled kernel (Behavior.Compile closures, dense addressing,
+   binary-heap calendar) claims byte-identical observables to the
+   interpreted oracle.  These properties hold the two against each other
+   on random networks × random stimulus × tie orders × edge delays ×
+   fault families × seeds, comparing every observable at once: settled
+   observations, output traces, final output values, activation and
+   packet counts, fault statistics, the clock, and the full rendered
+   telemetry report. *)
+
+module Graph = Netlist.Graph
+module Node_id = Netlist.Node_id
+module E = Sim.Engine
+module F = Sim.Fault
+module C = Eblock.Catalog
+
+let check = Alcotest.check
+let value = Testlib.value
+
+(* Everything one simulation run can show: if any divergence between the
+   kernels is observable at all, it is observable here. *)
+let observe ~kernel ?tie_order ?edge_delay ?faults ?(telemetry = false) g
+    script =
+  let collector = if telemetry then Some (Sim.Telemetry.create ()) else None in
+  let engine =
+    E.create ~kernel ?tie_order ?edge_delay ?faults ?telemetry:collector g
+  in
+  let obs = Sim.Stimulus.settled_outputs engine script in
+  let report =
+    Option.map
+      (fun tel -> Obs.Json.to_string (Sim.Telemetry.report_json g tel))
+      collector
+  in
+  ( obs,
+    E.trace engine,
+    E.output_values engine,
+    E.activation_count engine,
+    E.packet_count engine,
+    E.fault_stats engine,
+    E.now engine,
+    report )
+
+let kernels_agree ?tie_order ?edge_delay ?faults ?telemetry g script =
+  observe ~kernel:E.Interpreted ?tie_order ?edge_delay ?faults ?telemetry g
+    script
+  = observe ~kernel:E.Compiled ?tie_order ?edge_delay ?faults ?telemetry g
+      script
+
+(* --- generators ---------------------------------------------------------- *)
+
+let tie_of_pick pick seed =
+  match pick with
+  | 0 -> E.Fifo
+  | 1 -> E.Lifo
+  | _ -> E.Shuffled seed
+
+let family_of_pick pick =
+  match pick with
+  | 0 -> None
+  | 1 -> Some (Reliability.Family.Drop { rate = 0.15 })
+  | 2 ->
+    Some
+      (Reliability.Family.Chaos
+         { drop = 0.05; duplicate = 0.1; corrupt = 0.1; jitter = 2 })
+  | _ ->
+    Some
+      (Reliability.Family.Brownout { rate = 0.4; ticks = [ 30; 90; 150 ] })
+
+let case_gen =
+  QCheck.Gen.(
+    Testlib.network_gen ~max_inner:12 () >>= fun (inner, seed, g) ->
+    int_range 0 2 >>= fun tie ->
+    int_range 0 3 >>= fun fam ->
+    int_range 0 1_000_000 >|= fun script_seed ->
+    (inner, seed, g, tie, fam, script_seed))
+
+let case_arbitrary =
+  QCheck.make
+    ~print:(fun (inner, seed, _, tie, fam, script_seed) ->
+      Printf.sprintf "inner=%d seed=%d tie=%d family=%d script_seed=%d" inner
+        seed tie fam script_seed)
+    case_gen
+
+let script_of g script_seed =
+  Sim.Stimulus.random
+    ~rng:(Prng.create script_seed)
+    ~sensors:(Graph.sensors g) ~steps:10 ~spacing:25
+
+(* Deterministic non-uniform per-edge latency, exercising the delay
+   recomputation on both kernels' schedule paths. *)
+let bumpy_delay (e : Graph.edge) =
+  1 + ((e.Graph.src.Graph.node + (3 * e.Graph.dst.Graph.port)) mod 3)
+
+let prop name count f =
+  QCheck.Test.make ~count ~name case_arbitrary f
+
+let equivalence_properties =
+  [
+    prop "clean runs byte-identical across tie orders" 80
+      (fun (_, seed, g, tie, _, script_seed) ->
+        kernels_agree ~tie_order:(tie_of_pick tie seed) g
+          (script_of g script_seed));
+    prop "bumpy edge delays byte-identical" 40
+      (fun (_, seed, g, tie, _, script_seed) ->
+        kernels_agree ~tie_order:(tie_of_pick tie seed)
+          ~edge_delay:bumpy_delay g (script_of g script_seed));
+    prop "fault families byte-identical (plans, strikes, stats)" 80
+      (fun (_, seed, g, tie, fam, script_seed) ->
+        let faults =
+          Option.map
+            (fun f -> Reliability.Family.plan f ~seed:script_seed g)
+            (family_of_pick fam)
+        in
+        kernels_agree ~tie_order:(tie_of_pick tie seed) ?faults g
+          (script_of g script_seed));
+    prop "telemetry reports byte-identical" 40
+      (fun (_, seed, g, tie, fam, script_seed) ->
+        let faults =
+          Option.map
+            (fun f -> Reliability.Family.plan f ~seed:script_seed g)
+            (family_of_pick fam)
+        in
+        kernels_agree ~tie_order:(tie_of_pick tie seed) ?faults
+          ~telemetry:true g (script_of g script_seed));
+  ]
+
+(* The per-(node, port) fanout index is defined as a filter of the full
+   fanout list; hold the two against each other on random graphs,
+   including one out-of-range probe per node. *)
+let fanout_index_agrees =
+  QCheck.Test.make ~count:200 ~name:"Graph.fanout_on = filtered fanout"
+    (Testlib.network_arbitrary ())
+    (fun (_, _, g) ->
+      List.for_all
+        (fun id ->
+          let d = Graph.descriptor g id in
+          let full = Graph.fanout g id in
+          let ports = d.Eblock.Descriptor.n_outputs in
+          Graph.fanout_on g id ports = []
+          && List.for_all
+               (fun port ->
+                 let reference =
+                   List.filter
+                     (fun e -> e.Graph.src.Graph.port = port)
+                     full
+                 in
+                 let indexed = Graph.fanout_on g id port in
+                 let iterated = ref [] in
+                 Graph.iter_fanout_on g id port (fun e ->
+                     iterated := e :: !iterated);
+                 indexed = reference && List.rev !iterated = reference)
+               (List.init ports Fun.id))
+        (Graph.node_ids g))
+
+(* --- kernel selection ----------------------------------------------------- *)
+
+let test_default_kernel () =
+  let g, _, _, _ = Testlib.chain [ C.not_gate ] in
+  check Alcotest.bool "default is compiled" true
+    (E.kernel (E.create g) = E.Compiled);
+  check Alcotest.bool "interpreted on request" true
+    (E.kernel (E.create ~kernel:E.Interpreted g) = E.Interpreted)
+
+(* --- pinned regressions --------------------------------------------------- *)
+
+(* Re-arming a pending timer must supersede the earlier expiry on both
+   kernels: the prolong block re-triggers on every rising input, so
+   flips faster than its window must coalesce into one fall.  The trace
+   is pinned so a tie-handling or generation-tracking regression in
+   either kernel shows up as a concrete diff, not just a cross-kernel
+   mismatch. *)
+let test_timer_supersession_pinned () =
+  let run kernel =
+    let g, sensor, _, led = Testlib.chain [ C.prolong ~ticks:10 ] in
+    let engine = E.create ~kernel g in
+    List.iter
+      (fun (time, v) -> E.set_sensor_at engine ~time sensor v)
+      [ (1, true); (3, false); (5, true); (7, false); (40, true);
+        (42, false) ];
+    E.settle engine;
+    (E.trace engine, (led : Node_id.t))
+  in
+  let interp, led = run E.Interpreted in
+  let compiled, _ = run E.Compiled in
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int value))
+    "kernels agree" interp compiled;
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int value))
+    "pinned supersession trace"
+    [ (3, led, Bool true); (19, led, Bool false); (42, led, Bool true);
+      (54, led, Bool false) ]
+    compiled
+
+(* A brownout mid-run wipes a toggle's state on both kernels: same
+   trace, same reset accounting, pinned. *)
+let test_brownout_reset_pinned () =
+  let run kernel =
+    let g, sensor, inner, led = Testlib.chain [ C.toggle ] in
+    let toggle = List.hd inner in
+    let faults =
+      { F.none with
+        node_faults =
+          [ (toggle, { F.no_node_fault with reset_at = [ 25 ] }) ];
+      }
+    in
+    let engine = E.create ~kernel ~faults g in
+    List.iter
+      (fun (time, v) -> E.set_sensor_at engine ~time sensor v)
+      [ (1, true); (10, false); (30, true); (40, false) ];
+    E.settle engine;
+    ( E.trace engine,
+      (match E.fault_stats engine with Some s -> s.F.resets | None -> -1),
+      (led : Node_id.t) )
+  in
+  let i_trace, i_resets, led = run E.Interpreted in
+  let c_trace, c_resets, _ = run E.Compiled in
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int value))
+    "kernels agree" i_trace c_trace;
+  check Alcotest.int "one reset on both" i_resets c_resets;
+  check Alcotest.int "pinned reset count" 1 c_resets;
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int value))
+    "pinned brownout trace"
+    [ (3, led, Bool true); (26, led, Bool false); (32, led, Bool true) ]
+    c_trace
+
+(* Error surfaces must not depend on the kernel either. *)
+let test_event_limit_agrees () =
+  let g, a = Graph.add Graph.empty C.button in
+  let g, blink = Graph.add g (C.blinker ~period:4) in
+  let g, led = Graph.add g C.led in
+  let g = Graph.connect g ~src:(a, 0) ~dst:(blink, 0) in
+  let g = Graph.connect g ~src:(blink, 0) ~dst:(led, 0) in
+  let probe kernel =
+    let engine = E.create ~kernel g in
+    E.set_sensor engine a true;
+    match E.settle ~limit:200 engine with
+    | () -> Alcotest.fail "oscillator settled?"
+    | exception E.Event_limit_exceeded { clock; queue_depth; last_node } ->
+      (clock, queue_depth, last_node)
+  in
+  let i = probe E.Interpreted and c = probe E.Compiled in
+  check
+    (Alcotest.triple Alcotest.int Alcotest.int (Alcotest.option Alcotest.int))
+    "limit context agrees" i c
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ("equivalence", Testlib.qtests equivalence_properties);
+      ("fanout index", Testlib.qtests [ fanout_index_agrees ]);
+      ( "selection",
+        [ Alcotest.test_case "default + override" `Quick test_default_kernel ]
+      );
+      ( "pinned",
+        [
+          Alcotest.test_case "timer supersession" `Quick
+            test_timer_supersession_pinned;
+          Alcotest.test_case "brownout reset" `Quick
+            test_brownout_reset_pinned;
+          Alcotest.test_case "event limit context" `Quick
+            test_event_limit_agrees;
+        ] );
+    ]

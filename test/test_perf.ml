@@ -6,7 +6,7 @@ let expected_groups =
   [ "kernel"; "exhaustive"; "table1"; "table2"; "scale"; "worstcase";
     "ablation"; "codegen"; "sim"; "faults"; "reliability"; "power";
     "frontend";
-    "journal"; "telemetry" ]
+    "journal"; "sim_kernel"; "sim_kernel_interp"; "telemetry" ]
 
 let test_group_inventory () =
   let names = List.map (fun g -> g.Experiments.Perf.name)
