@@ -3,7 +3,7 @@
 
 .PHONY: all build test check bench tables faults reliability-smoke \
 	verify-fuzz perf-baseline perf-smoke jobs-check journal-smoke \
-	netobs-smoke sim-smoke clean
+	netobs-smoke sim-smoke serve-smoke clean
 
 all: build
 
@@ -99,6 +99,50 @@ jobs-check:
 	diff netobs-j1.json netobs-jobs.json
 	rm -f observe-j1.txt observe-j2.txt observe-ji.txt \
 	  netobs-j1.json netobs-jobs.json
+
+# Batch-server smoke (doc/service.md): drain a 105-request mixed batch
+# (6x Table 1 under PareDown + 1x under aggregation) through `paredown
+# serve` twice against the same cache file.  Gates, in order: the warm
+# run is byte-identical to the cold one; the warm run recomputes
+# nothing (cache_misses=0); responses are --jobs invariant; and a
+# piped one-request round trip prints exactly what the one-shot CLI
+# prints.  The cache runs arm the flight recorder, so a mid-batch
+# failure leaves a post-mortem bundle for the CI artifact upload.
+# PAREDOWN_STABLE_TIMES masks elapsed_ns, the one
+# legitimately nondeterministic response field.  Uses the built binary
+# directly: three dune execs sharing a shell pipe would fight over the
+# build lock.
+serve-smoke: build
+	rm -f serve-cache.json
+	./_build/default/bin/paredown.exe submit --table1 --repeat 6 > serve-batch.txt
+	./_build/default/bin/paredown.exe submit --table1 -a aggregation >> serve-batch.txt
+	PAREDOWN_STABLE_TIMES=1 ./_build/default/bin/paredown.exe serve \
+	  --cache serve-cache.json --jobs 2 \
+	  --flight-record paredown-postmortem.json \
+	  < serve-batch.txt > serve-run1.txt
+	PAREDOWN_STABLE_TIMES=1 ./_build/default/bin/paredown.exe serve \
+	  --cache serve-cache.json --jobs 2 \
+	  --flight-record paredown-postmortem.json \
+	  < serve-batch.txt > serve-run2.txt
+	./_build/default/bin/paredown.exe submit --decode serve-run1.txt > serve-dec1.txt
+	./_build/default/bin/paredown.exe submit --decode serve-run2.txt > serve-dec2.txt
+	diff serve-dec1.txt serve-dec2.txt
+	./_build/default/bin/paredown.exe submit --decode serve-run2.txt --summary \
+	  | grep -q "cache_misses=0"
+	rm -f serve-cache.json
+	PAREDOWN_STABLE_TIMES=1 ./_build/default/bin/paredown.exe serve \
+	  --jobs 1 < serve-batch.txt > serve-j1.txt
+	PAREDOWN_STABLE_TIMES=1 ./_build/default/bin/paredown.exe serve \
+	  --jobs 4 < serve-batch.txt > serve-j4.txt
+	diff serve-j1.txt serve-j4.txt
+	./_build/default/bin/paredown.exe submit "Podium Timer 3" \
+	  | ./_build/default/bin/paredown.exe serve \
+	  | ./_build/default/bin/paredown.exe submit --decode - > serve-pipe.txt
+	./_build/default/bin/paredown.exe partition "Podium Timer 3" > serve-oneshot.txt
+	diff serve-pipe.txt serve-oneshot.txt
+	rm -f serve-cache.json serve-batch.txt serve-run1.txt serve-run2.txt \
+	  serve-dec1.txt serve-dec2.txt serve-j1.txt serve-j4.txt \
+	  serve-pipe.txt serve-oneshot.txt
 
 # Kernel-equivalence smoke: the same sim-heavy sweeps (fault grading,
 # Monte-Carlo reliability) under the compiled kernel and the

@@ -386,6 +386,57 @@ let reliability_tests =
         (Staged.stage (fun () -> Experiments.Reliability.run_design entry_gate));
     ]
 
+let service_tests =
+  (* The batch server over in-memory pipes: a cold canonise+compute
+     miss, the same request served warm from the cache, and the
+     canonical fingerprint alone (the per-request overhead a hit
+     pays). *)
+  let g = Designs.Library.podium_timer_3.Designs.Design.network in
+  let request id =
+    Service.Protocol.render_request
+      {
+        Service.Protocol.id;
+        op =
+          Service.Protocol.Partition
+            { backend = Service.Oneshot.Paredown; deadline_s = None };
+        design = Some "Podium Timer 3";
+        design_text = None;
+        inputs = 2;
+        outputs = 2;
+      }
+  in
+  let serve frames =
+    let req = Filename.temp_file "bench_service_req" ".bin" in
+    let resp = Filename.temp_file "bench_service_resp" ".bin" in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove req;
+        Sys.remove resp)
+      (fun () ->
+        let oc = open_out_bin req in
+        List.iter (Service.Protocol.write_frame oc) frames;
+        close_out oc;
+        let ic = open_in_bin req in
+        let oc = open_out_bin resp in
+        let summary = Service.Server.run ic oc in
+        close_in ic;
+        close_out oc;
+        summary)
+  in
+  Test.make_grouped ~name:"service"
+    [
+      Test.make ~name:"serve-cold"
+        (Staged.stage (fun () ->
+             serve [ request "r1"; Service.Protocol.drain_frame ]));
+      Test.make ~name:"serve-warm-10"
+        (Staged.stage (fun () ->
+             serve
+               (List.init 10 (fun i -> request (Printf.sprintf "r%d" i))
+               @ [ Service.Protocol.drain_frame ])));
+      Test.make ~name:"canonise-podium"
+        (Staged.stage (fun () -> Service.Canon.of_graph g));
+    ]
+
 let parse_tests =
   let source =
     Behavior.Ast.program_to_string
@@ -406,7 +457,7 @@ let all_tests =
       ablation_tests; codegen_tests; sim_tests; sim_kernel_tests;
       fault_tests; power_tests;
       reliability_tests; obs_tests; journal_tests; telemetry_tests;
-      parse_tests;
+      service_tests; parse_tests;
     ]
 
 let run_benchmarks () =

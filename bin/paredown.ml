@@ -59,7 +59,7 @@ let obs_term =
         { trace_file; metrics; journal_file; flight_record; journal_ring })
     $ trace $ metrics $ journal $ flight_record $ journal_ring)
 
-let with_obs opts f =
+let with_obs ?(metrics_out = stdout) opts f =
   (* Open the trace file before doing any work so a bad path fails
      fast, not after a long run. *)
   let recorder =
@@ -78,9 +78,11 @@ let with_obs opts f =
   in
   (* The sinks must also flush on [Stdlib.exit] — synth --verify and
      fuzz exit 1 on failure, and [Fun.protect] finalizers do not run
-     then.  Each writer is an idempotent closure registered both with
-     [at_exit] and in the finally below, so the normal path and the
-     exit path write exactly once. *)
+     then.  Each writer is an idempotent closure registered both behind
+     a named {!Obs.Flush} slot (one process-lifetime at_exit; re-arming
+     swaps the sink instead of accumulating a closure per invocation)
+     and in the finally below, so the normal path and the exit path
+     write exactly once. *)
   let write_trace =
     match recorder with
     | None -> fun () -> ()
@@ -117,16 +119,17 @@ let with_obs opts f =
    | Some out ->
      Obs.Journal.arm_post_mortem ~capacity:opts.journal_ring ~out ()
    | None -> ());
-  at_exit write_trace;
-  at_exit write_journal;
+  Obs.Flush.arm ~slot:"cli.trace" write_trace;
+  Obs.Flush.arm ~slot:"cli.journal" write_journal;
   Fun.protect
     ~finally:(fun () ->
       Obs.Trace.reset ();
       write_trace ();
       write_journal ();
       if opts.metrics then begin
-        print_newline ();
-        print_string (Obs.Metrics.to_table ~omit_zero:true ())
+        output_char metrics_out '\n';
+        output_string metrics_out (Obs.Metrics.to_table ~omit_zero:true ());
+        flush metrics_out
       end)
     (fun () ->
       try f ()
@@ -179,35 +182,25 @@ let algorithm_arg =
            ~doc:"Partitioning algorithm: $(b,paredown), $(b,exhaustive), \
                  or $(b,aggregation).")
 
+let backend_of_algorithm = function
+  | `Paredown -> Service.Oneshot.Paredown
+  | `Exhaustive -> Service.Oneshot.Exhaustive
+  | `Aggregation -> Service.Oneshot.Aggregation
+
+(* Dispatch and rendering live in [Service.Oneshot], shared verbatim
+   with [paredown serve] — the service's byte-identity promise holds by
+   construction, not by keeping two copies in step. *)
 let partition_network ~algorithm ~shape g =
-  match algorithm with
-  | `Paredown ->
-    let config =
-      { Core.Paredown.default_config with shapes = [ shape ] }
-    in
-    (Core.Paredown.run ~config g).Core.Paredown.solution
-  | `Exhaustive ->
-    let config =
-      { Core.Exhaustive.default_config with shapes = [ shape ] }
-    in
-    (Core.Exhaustive.run ~config ~deadline_s:120.0 g).Core.Exhaustive.solution
-  | `Aggregation ->
-    let config =
-      { Core.Aggregation.default_config with shapes = [ shape ] }
-    in
-    Core.Aggregation.run ~config g
+  match
+    Service.Oneshot.partition ~backend:(backend_of_algorithm algorithm)
+      ~shape g
+  with
+  | Service.Oneshot.Done { solution; _ }
+  | Service.Oneshot.Expired { solution; _ } ->
+    solution
 
 let print_solution g sol =
-  Format.printf "@[<v>%a@]@." Core.Solution.pp sol;
-  Format.printf "inner blocks: %d -> %d (%d programmable)@."
-    (Graph.inner_count g)
-    (Core.Solution.total_inner_after g sol)
-    (Core.Solution.programmable_count sol);
-  Format.printf "network cost: %.1f -> %.1f@."
-    (Graph.total_cost g)
-    (Graph.total_cost g
-     -. Core.Solution.total_cost_after g Core.Solution.empty
-     +. Core.Solution.total_cost_after g sol)
+  print_string (Service.Oneshot.solution_report g sol)
 
 (* list *)
 
@@ -977,6 +970,222 @@ let explain_cmd =
              diff two runs.")
     [ explain_summary_cmd; explain_why_cmd; explain_diff_cmd ]
 
+(* serve / submit: the batch synthesis service (see doc/service.md) *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ]
+             ~doc:"Worker domains for the cache-miss fan-out.  Responses \
+                   are byte-identical across values (mask wall-clock \
+                   fields with PAREDOWN_STABLE_TIMES=1 to diff).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 256
+         & info [ "queue" ]
+             ~doc:"Requests accepted per batch; the rest are answered \
+                   $(b,rejected) with a reason (backpressure).")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"Persist the solution cache to $(docv) (versioned \
+                   JSON, written atomically; loaded at boot, flushed \
+                   incrementally and at every drain).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int Service.Cache.default_capacity
+         & info [ "capacity" ]
+             ~doc:"Solution-cache bound (least-recently-used eviction).")
+  in
+  let run obs jobs queue cache capacity =
+    (* stdout is the wire: --metrics must not corrupt the frame stream. *)
+    with_obs ~metrics_out:stderr obs @@ fun () ->
+    let config =
+      {
+        Service.Server.jobs; queue; cache_path = cache; capacity;
+        log = (fun m -> Printf.eprintf "paredown serve: %s\n%!" m);
+      }
+    in
+    ignore (Service.Server.run ~config stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident batch synthesis server: length-prefixed \
+             JSON request frames on stdin (see $(b,submit)), one \
+             response frame per request plus a batch summary on stdout, \
+             behind a fingerprint-keyed solution cache.")
+    Term.(
+      const run $ obs_term $ jobs_arg $ queue_arg $ cache_arg $ capacity_arg)
+
+let submit_cmd =
+  let designs_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"DESIGN"
+             ~doc:"Library design name or netlist file (files are \
+                   embedded inline).  One request per design.")
+  in
+  let table1_arg =
+    Arg.(value & flag
+         & info [ "table1" ] ~doc:"Submit every Table 1 design.")
+  in
+  let op_arg =
+    let op = Arg.enum [ ("partition", `Partition); ("weighted", `Weighted) ] in
+    Arg.(value & opt op `Partition
+         & info [ "op" ] ~doc:"Request kind: $(b,partition) or \
+                               $(b,weighted) (reliability-weighted).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-request budget for the exhaustive backend.")
+  in
+  let lambda_arg =
+    Arg.(value & opt float 1.0
+         & info [ "lambda" ] ~doc:"Severity weight of weighted requests.")
+  in
+  let family_arg =
+    Arg.(value & opt family_conv Reliability.Estimator.default_config.family
+         & info [ "family" ] ~docv:"FAMILY"
+             ~doc:"Fault-plan family of weighted requests.")
+  in
+  let trials_arg =
+    Arg.(value & opt int Service.Protocol.default_trials
+         & info [ "trials" ] ~doc:"Monte-Carlo trials of weighted requests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int Service.Protocol.default_seed
+         & info [ "seed" ] ~doc:"Seed of weighted requests.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1
+         & info [ "repeat" ]
+             ~doc:"Submit the whole request list this many times (cache \
+                   exercise).")
+  in
+  let decode_arg =
+    Arg.(value & opt (some string) None
+         & info [ "decode" ] ~docv:"FILE"
+             ~doc:"Decode a response stream ($(b,-) for stdin) instead \
+                   of emitting requests: print each ok response's \
+                   output verbatim, other statuses as one '# id status' \
+                   comment line each.")
+  in
+  let summary_arg =
+    Arg.(value & flag
+         & info [ "summary" ]
+             ~doc:"With $(b,--decode): print only the batch summary as \
+                   one key=value line.")
+  in
+  let run obs designs table1 op backend deadline lambda family trials seed
+      repeat decode summary =
+    (* Encode mode writes request frames on stdout; keep --metrics off
+       the wire there too. *)
+    with_obs ~metrics_out:stderr obs @@ fun () ->
+    match decode with
+    | Some path ->
+      let ic = if path = "-" then stdin else open_in path in
+      Fun.protect
+        ~finally:(fun () -> if path <> "-" then close_in ic)
+        (fun () ->
+          let rec loop () =
+            match Service.Protocol.read_frame ic with
+            | None -> ()
+            | Some frame ->
+              (if Service.Protocol.is_summary frame then begin
+                 if summary then
+                   match Service.Protocol.summary_line frame with
+                   | Ok line -> print_endline line
+                   | Error e -> Printf.eprintf "paredown submit: %s\n" e
+               end
+               else if not summary then
+                 match Service.Protocol.parse_response frame with
+                 | Error e -> Printf.eprintf "paredown submit: %s\n" e
+                 | Ok r -> (
+                   match r.Service.Protocol.status with
+                   | Service.Protocol.Ok_ ->
+                     print_string r.Service.Protocol.output
+                   | s ->
+                     Printf.printf "# %s %s: %s\n" r.Service.Protocol.r_id
+                       (Service.Protocol.status_to_string s)
+                       (String.concat " | "
+                          (String.split_on_char '\n'
+                             r.Service.Protocol.output))));
+              loop ()
+          in
+          try loop ()
+          with Service.Protocol.Framing_error e ->
+            (* A truncated or corrupted response stream is an input
+               error, not an internal one. *)
+            Printf.eprintf "paredown submit: corrupt response stream: %s\n" e;
+            exit 1)
+    | None ->
+      let base =
+        if table1 then
+          List.map (fun d -> `Library d.Designs.Design.name)
+            Designs.Library.table1
+        else
+          List.map
+            (fun d ->
+              if Option.is_some (Designs.Library.find d) then `Library d
+              else if Sys.file_exists d then begin
+                let ic = open_in_bin d in
+                let text =
+                  Fun.protect
+                    ~finally:(fun () -> close_in ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                in
+                `Inline text
+              end
+              else failwith (Printf.sprintf "unknown design %S" d))
+            designs
+      in
+      if base = [] then failwith "nothing to submit (name designs or --table1)";
+      let op_of_design () =
+        match op with
+        | `Partition ->
+          Service.Protocol.Partition
+            { backend = backend_of_algorithm backend; deadline_s = deadline }
+        | `Weighted ->
+          Service.Protocol.Weighted { lambda; family; trials; seed }
+      in
+      let n = ref 0 in
+      for _ = 1 to max 1 repeat do
+        List.iter
+          (fun d ->
+            incr n;
+            let design, design_text =
+              match d with
+              | `Library name -> (Some name, None)
+              | `Inline text -> (None, Some text)
+            in
+            let r =
+              {
+                Service.Protocol.id = Printf.sprintf "r%d" !n;
+                op = op_of_design ();
+                design;
+                design_text;
+                inputs = 2;
+                outputs = 2;
+              }
+            in
+            Service.Protocol.write_frame stdout
+              (Service.Protocol.render_request r))
+          base
+      done;
+      Service.Protocol.write_frame stdout Service.Protocol.drain_frame
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Build request frames for $(b,paredown serve) (default), or \
+             decode a response stream with $(b,--decode).  Compose with \
+             a shell pipe: paredown submit D | paredown serve | \
+             paredown submit --decode -")
+    Term.(
+      const run $ obs_term $ designs_arg $ table1_arg $ op_arg
+      $ algorithm_arg $ deadline_arg $ lambda_arg $ family_arg $ trials_arg
+      $ seed_arg $ repeat_arg $ decode_arg $ summary_arg)
+
 let () =
   Obs.Journal.maybe_enable_from_env ();
   let info =
@@ -989,4 +1198,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; partition_cmd; synth_cmd; simulate_cmd;
             faults_cmd; reliability_cmd; observe_cmd; generate_cmd;
-            perf_cmd; explain_cmd ]))
+            perf_cmd; explain_cmd; serve_cmd; submit_cmd ]))

@@ -112,9 +112,12 @@ let run ?(config = default_config) ?(jobs = 1) () =
             Estimator.hits = acc.cache.Estimator.hits + r.cache.Estimator.hits;
             misses = acc.cache.Estimator.misses + r.cache.Estimator.misses;
             entries = acc.cache.Estimator.entries + r.cache.Estimator.entries;
+            evictions =
+              acc.cache.Estimator.evictions + r.cache.Estimator.evictions;
           };
       })
-    { rows = []; cache = { Estimator.hits = 0; misses = 0; entries = 0 } }
+    { rows = [];
+      cache = { Estimator.hits = 0; misses = 0; entries = 0; evictions = 0 } }
     reports
 
 let headers =

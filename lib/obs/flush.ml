@@ -1,0 +1,31 @@
+(* Re-armable exit writers.  Stdlib [at_exit] can only accumulate
+   closures, so a daemon that arms a journal or trace writer per
+   request would leak one handler per request (and run all of them at
+   exit).  This registry installs exactly one process-lifetime at_exit
+   hook, lazily on the first [arm], and lets callers swap or remove the
+   sink behind a named slot as often as they like. *)
+
+let hooks : (string * (unit -> unit)) list ref = ref []
+let installed = ref false
+
+(* Slot order, not arm order: deterministic whatever sequence of
+   arm/disarm calls led here.  A failing writer must not starve the
+   rest at exit, so each hook runs under its own handler. *)
+let flush_all () =
+  List.iter
+    (fun (_, f) -> try f () with _ -> ())
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !hooks)
+
+let arm ~slot f =
+  if not !installed then begin
+    installed := true;
+    at_exit flush_all
+  end;
+  hooks := (slot, f) :: List.remove_assoc slot !hooks
+
+let disarm ~slot = hooks := List.remove_assoc slot !hooks
+
+let flush ~slot =
+  match List.assoc_opt slot !hooks with Some f -> f () | None -> ()
+
+let armed_count () = List.length !hooks

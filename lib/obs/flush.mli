@@ -1,0 +1,31 @@
+(** Re-armable exit writers behind a single process-lifetime [at_exit].
+
+    Writers that must fire on [Stdlib.exit] (trace files, journals,
+    post-mortem bundles) used to register one [at_exit] closure per
+    arming — fine for a one-shot CLI, a leak in a resident daemon that
+    arms per request.  This registry keys each writer by a {e slot}
+    name: re-arming a slot replaces its sink, disarming removes it, and
+    the one at_exit hook (installed lazily on the first {!arm}) runs
+    whatever is currently armed, in slot-name order, swallowing
+    individual writer failures.
+
+    Writers should stay idempotent (write-once guards), since callers
+    typically also flush them on the normal path. *)
+
+val arm : slot:string -> (unit -> unit) -> unit
+(** Install or replace the writer for [slot]. *)
+
+val disarm : slot:string -> unit
+(** Remove [slot]'s writer; unknown slots are ignored. *)
+
+val flush : slot:string -> unit
+(** Run [slot]'s writer now (exceptions propagate); unknown slots are
+    ignored. *)
+
+val flush_all : unit -> unit
+(** Run every armed writer in slot-name order, swallowing per-writer
+    exceptions — exactly what the exit hook does. *)
+
+val armed_count : unit -> int
+(** Currently armed slots — N arm/flush cycles on the same slot leave
+    this at 1, the regression the test suite pins. *)

@@ -516,7 +516,11 @@ let maybe_enable_from_env () =
   (match Sys.getenv_opt "PAREDOWN_JOURNAL" with
   | Some file when file <> "" ->
     let t = install () in
-    at_exit (fun () -> try write_file t file with Sys_error _ -> ())
+    (* A named Flush slot, not a bare at_exit: calling this again (or a
+       daemon re-arming per batch) swaps the writer instead of
+       accumulating one exit closure per call. *)
+    Flush.arm ~slot:"journal.env" (fun () ->
+        try write_file t file with Sys_error _ -> ())
   | _ -> ());
   match Sys.getenv_opt "PAREDOWN_FLIGHT_RECORD" with
   | Some file when file <> "" -> arm_post_mortem ~out:file ()
@@ -525,6 +529,7 @@ let maybe_enable_from_env () =
 let reset () =
   current := None;
   armed_out := None;
+  Flush.disarm ~slot:"journal.env";
   Atomic.set dumped false
 
 (* ------------------------------------------------------------------ *)

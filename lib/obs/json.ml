@@ -109,7 +109,9 @@ let utf8_add buf code =
     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
   end
 
-let of_string s =
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let fail i msg = raise (Parse_error (i, msg)) in
   let rec skip_ws i =
@@ -192,13 +194,23 @@ let of_string s =
     end;
     (Num (float_of_string (String.sub s i (!j - i))), !j)
   in
-  let rec value i =
+  (* [depth] counts the containers already open around this point; a
+     container may only open while it is strictly below [max_depth], so
+     both recursion depth and stack use stay bounded on hostile
+     deeply-nested input (the parser now fronts a network service). *)
+  let rec value depth i =
     let i = skip_ws i in
     if i >= n then fail i "value expected"
     else
       match s.[i] with
-      | '{' -> obj [] (skip_ws (i + 1))
-      | '[' -> arr [] (skip_ws (i + 1))
+      | '{' ->
+        if depth >= max_depth then
+          fail i (Printf.sprintf "nesting deeper than %d" max_depth)
+        else obj (depth + 1) [] (skip_ws (i + 1))
+      | '[' ->
+        if depth >= max_depth then
+          fail i (Printf.sprintf "nesting deeper than %d" max_depth)
+        else arr (depth + 1) [] (skip_ws (i + 1))
       | '"' ->
         let str, j = string_lit (i + 1) in
         (Str str, j)
@@ -211,7 +223,7 @@ let of_string s =
     let l = String.length word in
     if i + l <= n && String.sub s i l = word then (v, i + l)
     else fail i ("expected " ^ word)
-  and obj acc i =
+  and obj depth acc i =
     (* the closing brace is only legal before the first field — after a
        comma a field must follow (no trailing commas in RFC 8259) *)
     if acc = [] && i < n && s.[i] = '}' then (Obj [], i + 1)
@@ -221,23 +233,23 @@ let of_string s =
       let key, i = string_lit (i + 1) in
       let i = skip_ws i in
       if i >= n || s.[i] <> ':' then fail i "colon expected";
-      let v, i = value (i + 1) in
+      let v, i = value depth (i + 1) in
       let i = skip_ws i in
-      if i < n && s.[i] = ',' then obj ((key, v) :: acc) (skip_ws (i + 1))
+      if i < n && s.[i] = ',' then obj depth ((key, v) :: acc) (skip_ws (i + 1))
       else if i < n && s.[i] = '}' then (Obj (List.rev ((key, v) :: acc)), i + 1)
       else fail i "comma or } expected"
     end
-  and arr acc i =
+  and arr depth acc i =
     if acc = [] && i < n && s.[i] = ']' then (Arr [], i + 1)
     else begin
-      let v, i = value i in
+      let v, i = value depth i in
       let i = skip_ws i in
-      if i < n && s.[i] = ',' then arr (v :: acc) (skip_ws (i + 1))
+      if i < n && s.[i] = ',' then arr depth (v :: acc) (skip_ws (i + 1))
       else if i < n && s.[i] = ']' then (Arr (List.rev (v :: acc)), i + 1)
       else fail i "comma or ] expected"
     end
   in
-  match value 0 with
+  match value 0 0 with
   | v, i ->
     let i = skip_ws i in
     if i <> n then Error (Printf.sprintf "trailing garbage at byte %d" i)

@@ -24,7 +24,16 @@ val to_string : ?indent:int -> t -> string
 (** Serialise; [indent] > 0 pretty-prints with that many spaces per
     level (default compact). *)
 
-val of_string : string -> (t, string) result
+val default_max_depth : int
+(** 512 — generous for every document this tool chain produces. *)
+
+val of_string : ?max_depth:int -> string -> (t, string) result
+(** Parse a complete JSON document.  [max_depth] (default
+    {!default_max_depth}) bounds container nesting: a document with more
+    than [max_depth] nested arrays/objects returns [Error] instead of
+    recursing without bound — the parser sits on the service's network
+    boundary, where a hostile deeply-nested body must not overflow the
+    stack. *)
 
 (** {2 Accessors} *)
 

@@ -1,0 +1,83 @@
+(* A bounded least-recently-used map with string keys.  The intrusive
+   doubly-linked recency list makes find/put O(1); [prev] points toward
+   the most-recently-used end, [next] toward the least.  Shared by the
+   reliability estimator's memo cache and the service solution cache —
+   both used to grow without bound, which a one-shot sweep never
+   notices and a resident daemon cannot afford. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* neighbour toward the MRU end *)
+  mutable next : 'v node option;  (* neighbour toward the LRU end *)
+}
+
+type 'v t = {
+  capacity : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    mru = None;
+    lru = None;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_mru t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_mru t n;
+    Some n.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let put t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    n.value <- value;
+    unlink t n;
+    push_mru t n
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then begin
+      match t.lru with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.key;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.add t.table key n;
+    push_mru t n
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let evictions t = t.evictions
+
+let fold_oldest_first f t acc =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.key n.value) n.prev
+  in
+  go acc t.lru

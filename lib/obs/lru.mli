@@ -1,0 +1,36 @@
+(** A bounded least-recently-used map with string keys.
+
+    O(1) [find] and [put] over a hash table threaded with an intrusive
+    recency list.  Both operations promote the touched entry to
+    most-recently-used; an insert at capacity evicts the
+    least-recently-used entry and counts it.  Not thread-safe: consult
+    from one domain (callers fan parallelism out {e below} their cache,
+    never across it). *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** Raises [Invalid_argument] on a non-positive capacity. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val mem : 'v t -> string -> bool
+(** Membership without promoting. *)
+
+val put : 'v t -> string -> 'v -> unit
+(** Insert or overwrite (either way the entry becomes
+    most-recently-used).  A fresh insert at capacity evicts the
+    least-recently-used entry first. *)
+
+val length : 'v t -> int
+val capacity : 'v t -> int
+
+val evictions : 'v t -> int
+(** Entries dropped by capacity pressure since [create]. *)
+
+val fold_oldest_first : ('a -> string -> 'v -> 'a) -> 'v t -> 'a -> 'a
+(** Fold in least-recently-used-first order — re-inserting ([put]) in
+    this order into a fresh map reproduces both contents and recency,
+    which is how the service cache survives a restart with its eviction
+    order intact. *)

@@ -4,19 +4,39 @@ let run_parallel ~jobs f items n =
   let arr = Array.of_list items in
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  (* The failure cell keeps the exception of the LOWEST failing index,
+     not whichever worker lost the CAS race last: a failing [--jobs N]
+     run must report the same error the sequential run reports, run to
+     run and jobs to jobs.  [record] is a CAS-min on the index. *)
   let failure = Atomic.make None in
+  let fail_index () =
+    match Atomic.get failure with None -> max_int | Some (i, _, _) -> i
+  in
+  let record i e bt =
+    let rec loop () =
+      let cur = Atomic.get failure in
+      let better = match cur with None -> true | Some (j, _, _) -> i < j in
+      if better && not (Atomic.compare_and_set failure cur (Some (i, e, bt)))
+      then loop ()
+    in
+    loop ()
+  in
   (* Each index is claimed by exactly one domain (the atomic cursor)
      and written once; Domain.join publishes the writes back to the
      caller, so the plain [results] array needs no further
      synchronisation. *)
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
-    if i < n && Atomic.get failure = None then begin
-      (match f arr.(i) with
-       | r -> results.(i) <- Some r
-       | exception e ->
-         let bt = Printexc.get_raw_backtrace () in
-         ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+    if i < n then begin
+      (* Only items ABOVE the lowest failure so far may be abandoned:
+         an item below it must still run, because it could fail with a
+         lower index — the one the sequential path would report.  (A
+         worker may have claimed a low index before a higher one
+         failed; skipping it would let the higher failure win.) *)
+      if i < fail_index () then
+        (match f arr.(i) with
+         | r -> results.(i) <- Some r
+         | exception e -> record i e (Printexc.get_raw_backtrace ()));
       worker ()
     end
   in
@@ -26,7 +46,7 @@ let run_parallel ~jobs f items n =
   worker ();
   List.iter Domain.join domains;
   match Atomic.get failure with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->
     Array.to_list results
     |> List.map (function Some r -> r | None -> assert false)

@@ -32,6 +32,9 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     (the calling domain works too) and items are handed out by a shared
     atomic cursor in index order.
 
-    If any application raises, the first exception (by completion
-    order) is re-raised on the calling domain after all domains have
-    been joined; remaining unstarted items are abandoned. *)
+    If any application raises, the exception of the {e lowest-index}
+    failing item — the one [List.map f items] would have raised — is
+    re-raised on the calling domain after all domains have been joined.
+    Items above the lowest failing index may be abandoned; items below
+    it always run, so the reported failure is deterministic and
+    jobs-invariant, like everything else. *)

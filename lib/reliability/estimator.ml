@@ -17,6 +17,10 @@ let m_cache_misses =
   Obs.Metrics.counter "reliability.cache_misses"
     ~doc:"solution scores that had to simulate"
 
+let m_cache_evictions =
+  Obs.Metrics.counter "reliability.cache_evictions"
+    ~doc:"memoized estimates dropped by the cache's LRU capacity bound"
+
 let h_score_ns =
   Obs.Metrics.histogram "reliability.score_ns"
     ~doc:"wall time per simulated estimate"
@@ -263,17 +267,33 @@ let estimate_network ?(jobs = 1) (config : config) g =
 (* --- Memoized solution scoring --------------------------------------- *)
 
 type cache = {
-  table : (string, estimate) Hashtbl.t;
+  table : estimate Obs.Lru.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let cache () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+(* Generous: a λ sweep over Table 1 touches tens of distinct solutions,
+   a long weighted search hundreds — but a resident service scoring
+   requests forever must not grow without bound. *)
+let default_capacity = 4096
 
-type cache_stats = { hits : int; misses : int; entries : int }
+let cache ?(capacity = default_capacity) () =
+  { table = Obs.Lru.create ~capacity; hits = 0; misses = 0 }
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+}
 
 let cache_stats (c : cache) =
-  { hits = c.hits; misses = c.misses; entries = Hashtbl.length c.table }
+  {
+    hits = c.hits;
+    misses = c.misses;
+    entries = Obs.Lru.length c.table;
+    evictions = Obs.Lru.evictions c.table;
+  }
 
 let min_member p = Node_id.Set.min_elt p.Core.Partition.members
 
@@ -320,7 +340,7 @@ let estimate_solution ?(jobs = 1) ~cache config g solution =
   let solution = canonicalize solution in
   let partitions = Core.Solution.programmable_count solution in
   let key = fingerprint config g solution in
-  match Hashtbl.find_opt cache.table key with
+  match Obs.Lru.find cache.table key with
   | Some est ->
     cache.hits <- cache.hits + 1;
     Obs.Metrics.incr m_cache_hits;
@@ -329,7 +349,10 @@ let estimate_solution ?(jobs = 1) ~cache config g solution =
   | None ->
     let rewritten = (Codegen.Replace.apply g solution).Codegen.Replace.network in
     let est = estimate_network ~jobs config rewritten in
-    Hashtbl.replace cache.table key est;
+    let evictions_before = Obs.Lru.evictions cache.table in
+    Obs.Lru.put cache.table key est;
+    if Obs.Lru.evictions cache.table > evictions_before then
+      Obs.Metrics.incr m_cache_evictions;
     cache.misses <- cache.misses + 1;
     Obs.Metrics.incr m_cache_misses;
     journal_scored ~partitions ~trials:est.trials ~severity:est.mean

@@ -110,11 +110,25 @@ val estimate_network : ?jobs:int -> config -> Graph.t -> estimate
 
 type cache
 
-val cache : unit -> cache
-(** A fresh cache.  Not thread-safe: consult it from the main domain
-    only (the trial fan-out below it is where parallelism lives). *)
+val default_capacity : int
+(** 4096 memoized estimates — generous for any sweep, bounded for a
+    resident daemon. *)
 
-type cache_stats = { hits : int; misses : int; entries : int }
+val cache : ?capacity:int -> unit -> cache
+(** A fresh cache, bounded to [capacity] (default {!default_capacity})
+    entries with least-recently-used eviction; evictions are counted
+    here and on the [reliability.cache_evictions] metric.  Under a
+    capacity larger than the working set the cache behaves exactly like
+    the old unbounded table.  Not thread-safe: consult it from the main
+    domain only (the trial fan-out below it is where parallelism
+    lives). *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;  (** estimates dropped by the capacity bound *)
+}
 
 val cache_stats : cache -> cache_stats
 

@@ -1,0 +1,251 @@
+module Json = Obs.Json
+
+let schema = "paredown-solution-cache"
+let version = 1
+let default_capacity = 4096
+let default_flush_every = 32
+
+let m_hits = Obs.Metrics.counter "service.cache_hits"
+let m_misses = Obs.Metrics.counter "service.cache_misses"
+let m_evictions = Obs.Metrics.counter "service.cache_evictions"
+
+type t = {
+  table : Json.t Obs.Lru.t;
+  path : string option;
+  flush_every : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable unflushed : int;
+}
+
+type stats = { hits : int; misses : int; entries : int; evictions : int }
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    entries = Obs.Lru.length t.table;
+    evictions = Obs.Lru.evictions t.table;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Persistence.  Oldest-first entry order: re-[put]ting in file order
+   reproduces both contents and recency, so a reloaded cache evicts in
+   the same order the resident one would have. *)
+
+let to_json t =
+  let entries =
+    Obs.Lru.fold_oldest_first
+      (fun acc key value ->
+        Json.Obj [ ("key", Json.Str key); ("value", value) ] :: acc)
+      t.table []
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("version", Json.Num (float_of_int version));
+      ("entries", Json.Arr (List.rev entries));
+    ]
+
+let save t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Json.to_string ~indent:2 (to_json t)));
+    Sys.rename tmp path;
+    t.unflushed <- 0
+
+let load_into table path =
+  if not (Sys.file_exists path) then Ok 0
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string text with
+    | Error e -> Error (Printf.sprintf "unreadable cache file: %s" e)
+    | Ok j -> (
+      let schema_ok =
+        match Option.bind (Json.member "schema" j) Json.to_str with
+        | Some s -> s = schema
+        | None -> false
+      in
+      let version_ok =
+        match Option.bind (Json.member "version" j) Json.to_float with
+        | Some v -> int_of_float v = version
+        | None -> false
+      in
+      if not (schema_ok && version_ok) then
+        Error "cache file has a different schema or version"
+      else
+        match Json.member "entries" j with
+        | Some (Json.Arr entries) ->
+          let n = ref 0 in
+          List.iter
+            (fun e ->
+              match
+                ( Option.bind (Json.member "key" e) Json.to_str,
+                  Json.member "value" e )
+              with
+              | Some key, Some value ->
+                Obs.Lru.put table key value;
+                incr n
+              | _ -> ())
+            entries;
+          Ok !n
+        | _ -> Error "cache file has no entries array")
+  end
+
+let create ?(capacity = default_capacity)
+    ?(flush_every = default_flush_every) ?path () =
+  let table = Obs.Lru.create ~capacity in
+  let loaded =
+    match path with
+    | None -> Ok 0
+    | Some p -> (
+      match load_into table p with
+      | Ok n -> Ok n
+      | Error e ->
+        (* A stale or foreign file must not brick the server: warn,
+           start empty, and let the next flush overwrite it. *)
+        Error e)
+  in
+  ( { table; path; flush_every; hits = 0; misses = 0; unflushed = 0 },
+    loaded )
+
+(* ------------------------------------------------------------------ *)
+(* Keys *)
+
+let shape_fragment (shape : Core.Shape.t) =
+  Printf.sprintf "%dx%d@%h" shape.Core.Shape.inputs shape.Core.Shape.outputs
+    shape.Core.Shape.cost
+
+let partition_key ~backend ~shape ~deadline_s canon =
+  Printf.sprintf "partition/%s/%s/%s/%s"
+    (Oneshot.backend_to_string backend)
+    (shape_fragment shape)
+    (match deadline_s with None -> "-" | Some d -> Printf.sprintf "%h" d)
+    (Canon.digest canon)
+
+let weighted_key ~lambda ~family ~trials ~seed ~shape g =
+  Printf.sprintf "weighted/%h/%s/%d/%d/%s/%s" lambda
+    (Reliability.Family.to_string family)
+    trials seed (shape_fragment shape)
+    (Canon.labels_digest g)
+
+(* ------------------------------------------------------------------ *)
+(* Payloads.  Partition solutions are stored in canonical coordinates
+   (member = canonical index) so an isomorphic relabelling of the
+   network can replay them; the report is re-rendered on the request
+   graph, which also makes an exact resubmission byte-identical.
+   Weighted results are keyed label-sensitively (fault plans draw from
+   node ids), so their report is stored verbatim. *)
+
+let partition_payload canon (solution : Core.Solution.t) work =
+  let partitions =
+    List.map
+      (fun (p : Core.Partition.t) ->
+        Json.Obj
+          [
+            ( "members",
+              Json.Arr
+                (Netlist.Node_id.Set.elements p.Core.Partition.members
+                |> List.map (fun id ->
+                       Json.Num (float_of_int (Canon.index_of canon id)))) );
+            ( "inputs",
+              Json.Num (float_of_int p.Core.Partition.shape.Core.Shape.inputs)
+            );
+            ( "outputs",
+              Json.Num (float_of_int p.Core.Partition.shape.Core.Shape.outputs)
+            );
+            ("cost", Json.Num p.Core.Partition.shape.Core.Shape.cost);
+          ])
+      solution.Core.Solution.partitions
+  in
+  Json.Obj [ ("partitions", Json.Arr partitions); ("work", Json.Obj work) ]
+
+exception Malformed
+
+let solution_of_payload canon payload =
+  let num j = match Json.to_float j with Some f -> f | None -> raise Malformed in
+  let partitions =
+    match Json.member "partitions" payload with
+    | Some (Json.Arr ps) ->
+      List.map
+        (fun p ->
+          let members =
+            match Json.member "members" p with
+            | Some (Json.Arr ms) ->
+              List.map
+                (fun m -> Canon.id_of canon (int_of_float (num m)))
+                ms
+            | _ -> raise Malformed
+          in
+          let field name =
+            match Json.member name p with
+            | Some j -> num j
+            | None -> raise Malformed
+          in
+          let shape =
+            Core.Shape.make
+              ~inputs:(int_of_float (field "inputs"))
+              ~outputs:(int_of_float (field "outputs"))
+              ~cost:(field "cost") ()
+          in
+          Core.Partition.make
+            ~members:(Netlist.Node_id.set_of_list members)
+            ~shape)
+        ps
+    | _ -> raise Malformed
+  in
+  { Core.Solution.partitions }
+
+let payload_work payload =
+  match Json.member "work" payload with
+  | Some (Json.Obj fields) -> fields
+  | _ -> []
+
+let weighted_payload ~report work =
+  Json.Obj [ ("report", Json.Str report); ("work", Json.Obj work) ]
+
+let weighted_of_payload payload =
+  match Option.bind (Json.member "report" payload) Json.to_str with
+  | Some report -> Some (report, payload_work payload)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / insert *)
+
+let record_hit (t : t) =
+  t.hits <- t.hits + 1;
+  Obs.Metrics.incr m_hits
+
+let record_miss (t : t) =
+  t.misses <- t.misses + 1;
+  Obs.Metrics.incr m_misses
+
+let find (t : t) key =
+  match Obs.Lru.find t.table key with
+  | Some payload ->
+    record_hit t;
+    Some payload
+  | None ->
+    record_miss t;
+    None
+
+let peek (t : t) key = Obs.Lru.find t.table key
+
+let insert (t : t) key payload =
+  let before = Obs.Lru.evictions t.table in
+  Obs.Lru.put t.table key payload;
+  let evicted = Obs.Lru.evictions t.table - before in
+  if evicted > 0 then
+    for _ = 1 to evicted do Obs.Metrics.incr m_evictions done;
+  t.unflushed <- t.unflushed + 1;
+  if t.unflushed >= t.flush_every then save t

@@ -168,6 +168,33 @@ let parallel_map_is_map =
     (fun xs -> Parallel.map ~jobs:3 (fun x -> x * x) xs
                = List.map (fun x -> x * x) xs)
 
+(* A failing parallel run must raise the exception of the LOWEST failing
+   index — the one List.map would raise — whatever the domain schedule.
+   Regression for the claimed-then-skipped race: a worker that had
+   already claimed a low index used to be abandoned when a higher index
+   failed first, letting the higher failure win. *)
+exception Boom of int
+
+let parallel_failure_is_lowest_index =
+  QCheck.Test.make ~count:100
+    ~name:"Parallel.map ~jobs:4 raises the same failure as ~jobs:1"
+    QCheck.(pair (list_of_size Gen.(5 -- 40) small_int) (list small_int))
+    (fun (xs, failing) ->
+      let n = List.length xs in
+      let fail_at =
+        List.filter (fun i -> i >= 0 && i < n) failing
+        |> List.sort_uniq compare
+      in
+      QCheck.assume (fail_at <> []);
+      let f i = if List.mem i fail_at then raise (Boom i) else i in
+      let items = List.init n (fun i -> i) in
+      let outcome jobs =
+        match Parallel.map ~jobs f items with
+        | _ -> None
+        | exception Boom i -> Some i
+      in
+      outcome 4 = outcome 1 && outcome 4 = Some (List.hd fail_at))
+
 (* Domain-safe metrics: a 2-domain sweep must report exactly the same
    deterministic counter totals as the sequential one. *)
 let test_two_domain_counters_agree () =
@@ -220,7 +247,8 @@ let () =
             test_pinned_work_counters;
         ] );
       ( "parallel",
-        Testlib.qtests [ parallel_map_is_map ]
+        Testlib.qtests
+          [ parallel_map_is_map; parallel_failure_is_lowest_index ]
         @ [
             Alcotest.test_case "2-domain counters agree" `Quick
               test_two_domain_counters_agree;

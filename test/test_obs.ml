@@ -532,6 +532,32 @@ let test_json_parses_escapes () =
     [ "{"; "[1,]"; "{\"a\":}"; "\"\\q\""; "01"; "\"unterminated"; "1 2";
       "\"\\ud800\"" ]
 
+(* Hostile nesting must return Error at the documented bound, not blow
+   the parser's stack.  The boundary is pinned: depth = default_max_depth
+   parses, one deeper does not. *)
+let nested depth = String.make depth '[' ^ String.make depth ']'
+
+let test_json_depth_limit () =
+  let at_limit = nested Obs.Json.default_max_depth in
+  (match Obs.Json.of_string at_limit with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "depth %d rejected: %s" Obs.Json.default_max_depth e);
+  (match Obs.Json.of_string (nested (Obs.Json.default_max_depth + 1)) with
+   | Ok _ -> Alcotest.fail "depth max+1 accepted"
+   | Error e ->
+     Alcotest.(check bool) "error names the bound" true
+       (Testlib.contains e (string_of_int Obs.Json.default_max_depth)));
+  (match Obs.Json.of_string ~max_depth:3 "[[[1]]]" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "custom depth 3 rejected: %s" e);
+  (match Obs.Json.of_string ~max_depth:3 "[[[[1]]]]" with
+   | Ok _ -> Alcotest.fail "custom depth 3 exceeded but accepted"
+   | Error _ -> ());
+  (* mixed containers count the same *)
+  match Obs.Json.of_string ~max_depth:2 "{\"a\":[{\"b\":1}]}" with
+  | Ok _ -> Alcotest.fail "object/array mix undercounted"
+  | Error _ -> ()
+
 let test_json_escape_complete () =
   for code = 0 to 31 do
     let escaped = Obs.Json.escape (String.make 1 (Char.chr code)) in
@@ -754,6 +780,69 @@ let test_sim_packet_counter_tracks_engine () =
     (Sim.Engine.packet_count engine) sent;
   Alcotest.(check bool) "some packets flowed" true (sent > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Flush: re-armable exit writers.  Re-arming a slot must replace its
+   hook (a long-lived process arming per batch must not accumulate
+   closures), disarm must remove it, and flushing runs hooks in slot
+   order with per-hook exception containment. *)
+
+let test_flush_rearm_no_growth () =
+  let base = Obs.Flush.armed_count () in
+  let fired = ref 0 in
+  for _ = 1 to 100 do
+    Obs.Flush.arm ~slot:"test.obs.flush" (fun () -> incr fired);
+    Obs.Flush.flush ~slot:"test.obs.flush"
+  done;
+  Alcotest.(check int) "100 arm/flush cycles keep one hook" (base + 1)
+    (Obs.Flush.armed_count ());
+  Alcotest.(check int) "each flush ran the current hook" 100 !fired;
+  Obs.Flush.disarm ~slot:"test.obs.flush";
+  Alcotest.(check int) "disarm removes it" base (Obs.Flush.armed_count ());
+  (* flushing a disarmed slot is a no-op, not an error *)
+  Obs.Flush.flush ~slot:"test.obs.flush";
+  Alcotest.(check int) "no ghost hook" 100 !fired
+
+let test_flush_rearm_replaces () =
+  let hits = ref [] in
+  Obs.Flush.arm ~slot:"test.obs.replace" (fun () -> hits := `Old :: !hits);
+  Obs.Flush.arm ~slot:"test.obs.replace" (fun () -> hits := `New :: !hits);
+  Obs.Flush.flush ~slot:"test.obs.replace";
+  Obs.Flush.disarm ~slot:"test.obs.replace";
+  Alcotest.(check bool) "only the latest hook runs" true (!hits = [ `New ])
+
+(* ------------------------------------------------------------------ *)
+(* Lru: the bounded recency map under the estimator memo cache and the
+   service solution cache. *)
+
+let test_lru_eviction_order () =
+  let t = Obs.Lru.create ~capacity:3 in
+  List.iter (fun k -> Obs.Lru.put t k (String.length k)) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "full" 3 (Obs.Lru.length t);
+  (* touching "a" promotes it; the next insert evicts "b" *)
+  Alcotest.(check (option int)) "find hits" (Some 1) (Obs.Lru.find t "a");
+  Obs.Lru.put t "d" 4;
+  Alcotest.(check int) "evicted one" 1 (Obs.Lru.evictions t);
+  Alcotest.(check bool) "b is the victim" false (Obs.Lru.mem t "b");
+  Alcotest.(check bool) "a survived its promotion" true (Obs.Lru.mem t "a");
+  (* overwrite is not an insert: no eviction *)
+  Obs.Lru.put t "a" 10;
+  Alcotest.(check int) "overwrite evicts nothing" 1 (Obs.Lru.evictions t);
+  Alcotest.(check (option int)) "overwrite sticks" (Some 10)
+    (Obs.Lru.find t "a")
+
+let test_lru_fold_reload_preserves_recency () =
+  let t = Obs.Lru.create ~capacity:4 in
+  List.iter (fun k -> Obs.Lru.put t k k) [ "w"; "x"; "y"; "z" ];
+  ignore (Obs.Lru.find t "w");
+  (* reload oldest-first into a fresh map: same contents, same recency *)
+  let t' = Obs.Lru.create ~capacity:4 in
+  Obs.Lru.fold_oldest_first (fun () k v -> Obs.Lru.put t' k v) t ();
+  Obs.Lru.put t' "new" "new";
+  Alcotest.(check bool) "reload evicts the same victim (x)" false
+    (Obs.Lru.mem t' "x");
+  Alcotest.(check bool) "promoted key survives reload" true
+    (Obs.Lru.mem t' "w")
+
 let () =
   Alcotest.run "obs"
     [
@@ -813,6 +902,22 @@ let () =
             test_json_parses_escapes;
           Alcotest.test_case "escaping is complete" `Quick
             test_json_escape_complete;
+          Alcotest.test_case "nesting depth limit" `Quick
+            test_json_depth_limit;
+        ] );
+      ( "flush",
+        [
+          Alcotest.test_case "re-arming does not grow" `Quick
+            test_flush_rearm_no_growth;
+          Alcotest.test_case "re-arm replaces the hook" `Quick
+            test_flush_rearm_replaces;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction and promotion" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "oldest-first fold reloads recency" `Quick
+            test_lru_fold_reload_preserves_recency;
         ] );
       ( "snapshot",
         [

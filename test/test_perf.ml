@@ -6,7 +6,8 @@ let expected_groups =
   [ "kernel"; "exhaustive"; "table1"; "table2"; "scale"; "worstcase";
     "ablation"; "codegen"; "sim"; "faults"; "reliability"; "power";
     "frontend";
-    "journal"; "sim_kernel"; "sim_kernel_interp"; "telemetry" ]
+    "journal"; "sim_kernel"; "sim_kernel_interp"; "telemetry";
+    "service" ]
 
 let test_group_inventory () =
   let names = List.map (fun g -> g.Experiments.Perf.name)

@@ -242,6 +242,62 @@ let test_cache_hits () =
   check Alcotest.int "trials counter" small_estimator.Estimator.trials
     (scoped "reliability.trials")
 
+(* The memo table is a bounded LRU now.  Pinned behaviours: a capacity
+   larger than the working set is observationally the old unbounded
+   table (same estimates, zero evictions); a tight capacity evicts —
+   counted on the cache and the reliability.cache_evictions metric —
+   and still returns exactly the same estimates, just recomputed. *)
+let test_cache_capacity_bound () =
+  let g = Testlib.podium in
+  let full = (Core.Paredown.run g).Core.Paredown.solution in
+  let solutions =
+    (* distinct fingerprints: empty, each partition alone, both *)
+    Core.Solution.empty
+    :: full
+    :: List.map
+         (fun p -> { Core.Solution.partitions = [ p ] })
+         full.Core.Solution.partitions
+  in
+  check Alcotest.bool "working set has at least 4 keys" true
+    (List.length solutions >= 4);
+  let sweep cache =
+    (* two passes: the second pass hits only if nothing was evicted *)
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun s -> Estimator.estimate_solution ~cache small_estimator g s)
+          [ s ])
+      (solutions @ solutions)
+  in
+  let roomy = Estimator.cache ~capacity:16 () in
+  let tight = Estimator.cache ~capacity:2 () in
+  let (roomy_ests, tight_ests), entries =
+    Obs.Metrics.with_scope (fun () -> (sweep roomy, sweep tight))
+  in
+  check Alcotest.bool "estimates unchanged under eviction pressure" true
+    (roomy_ests = tight_ests);
+  let roomy_stats = Estimator.cache_stats roomy in
+  let tight_stats = Estimator.cache_stats tight in
+  check Alcotest.int "roomy capacity never evicts" 0
+    roomy_stats.Estimator.evictions;
+  check Alcotest.int "roomy second pass all hits"
+    (List.length solutions) roomy_stats.Estimator.hits;
+  check Alcotest.bool "tight capacity evicts" true
+    (tight_stats.Estimator.evictions > 0);
+  check Alcotest.int "tight capacity holds its bound" 2
+    tight_stats.Estimator.entries;
+  let metric =
+    match
+      List.find_opt
+        (fun e -> e.Obs.Metrics.name = "reliability.cache_evictions")
+        entries
+    with
+    | Some { Obs.Metrics.value = Obs.Metrics.Count n; _ } -> n
+    | _ -> Alcotest.fail "missing counter reliability.cache_evictions"
+  in
+  check Alcotest.int "evictions counted on the metric"
+    tight_stats.Estimator.evictions metric
+
 (* --- The weighted searches ------------------------------------------------ *)
 
 let weighted ~lambda ~lexicographic ~cache g =
@@ -406,6 +462,8 @@ let () =
           Alcotest.test_case "fingerprint permutation" `Quick
             test_fingerprint_permutation_invariant;
           Alcotest.test_case "cache hits" `Quick test_cache_hits;
+          Alcotest.test_case "cache capacity bound" `Quick
+            test_cache_capacity_bound;
         ] );
       ( "weighted",
         [

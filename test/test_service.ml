@@ -1,0 +1,378 @@
+(* The batch synthesis service: canonical fingerprints, the solution
+   cache, and the serve/submit protocol.  The load-bearing promises
+   under test: a resubmission is a byte-identical cache hit, an
+   isomorphic relabelling hits too, a deadline expiry answers without
+   killing the batch, overflow is rejected with a reason, responses
+   equal the one-shot CLI's bytes, and the whole stream is invariant
+   under --jobs. *)
+
+module Graph = Netlist.Graph
+module P = Service.Protocol
+
+(* Response times must be masked or the jobs-1-vs-jobs-4 stream diff
+   below would be vacuously unequal. *)
+let () = Unix.putenv "PAREDOWN_STABLE_TIMES" "1"
+
+(* ------------------------------------------------------------------ *)
+(* Harness: run the server over an in-memory batch via temp files. *)
+
+let write_frames path frames =
+  let oc = open_out_bin path in
+  List.iter (P.write_frame oc) frames;
+  close_out oc
+
+let read_frames path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match P.read_frame ic with
+    | None -> List.rev acc
+    | Some f -> go (f :: acc)
+  in
+  let frames = go [] in
+  close_in ic;
+  frames
+
+let serve ?(config = Service.Server.default_config) frames =
+  let req = Filename.temp_file "svc_req" ".bin" in
+  let resp = Filename.temp_file "svc_resp" ".bin" in
+  write_frames req frames;
+  let ic = open_in_bin req in
+  let oc = open_out_bin resp in
+  let summary = Service.Server.run ~config ic oc in
+  close_in ic;
+  close_out oc;
+  let out = read_frames resp in
+  Sys.remove req;
+  Sys.remove resp;
+  (summary, out)
+
+let responses frames =
+  List.filter_map
+    (fun f ->
+      if P.is_summary f then None
+      else
+        match P.parse_response f with
+        | Ok r -> Some r
+        | Error e -> Alcotest.failf "bad response frame: %s" e)
+    frames
+
+let partition_request ?(backend = Service.Oneshot.Paredown) ?deadline_s ~id
+    design =
+  P.render_request
+    {
+      P.id;
+      op = P.Partition { backend; deadline_s };
+      design = Some design;
+      design_text = None;
+      inputs = 2;
+      outputs = 2;
+    }
+
+let text_request ~id text =
+  P.render_request
+    {
+      P.id;
+      op = P.Partition { backend = Service.Oneshot.Paredown; deadline_s = None };
+      design = None;
+      design_text = Some text;
+      inputs = 2;
+      outputs = 2;
+    }
+
+let oneshot_report ?(backend = Service.Oneshot.Paredown) g =
+  let shape = Core.Shape.make ~inputs:2 ~outputs:2 () in
+  match Service.Oneshot.partition ~backend ~shape g with
+  | Service.Oneshot.Done { report; _ }
+  | Service.Oneshot.Expired { report; _ } ->
+    report
+
+let find_design name =
+  match Designs.Library.find name with
+  | Some d -> d.Designs.Design.network
+  | None -> Alcotest.failf "library design %S missing" name
+
+let check_cache = Alcotest.(check string)
+
+let cache_of (r : P.response) = P.cache_to_string r.P.cache
+let status_of (r : P.response) = P.status_to_string r.P.status
+
+(* ------------------------------------------------------------------ *)
+(* Resubmission: the second identical request is a byte-identical hit,
+   in-batch and across a persisted restart. *)
+
+let test_resubmit_hits () =
+  let frames =
+    [
+      partition_request ~id:"a" "Podium Timer 3";
+      partition_request ~id:"b" "Podium Timer 3";
+      P.drain_frame;
+    ]
+  in
+  let summary, out = serve frames in
+  (match responses out with
+   | [ a; b ] ->
+     check_cache "first is a miss" "miss" (cache_of a);
+     check_cache "resubmission is a hit" "hit" (cache_of b);
+     Alcotest.(check string) "hit replays the same bytes" a.P.output b.P.output
+   | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  Alcotest.(check int) "one miss" 1 summary.P.misses;
+  Alcotest.(check int) "one hit" 1 summary.P.hits
+
+let test_resubmit_across_restart () =
+  let store = Filename.temp_file "svc_cache" ".json" in
+  Sys.remove store;
+  let config =
+    { Service.Server.default_config with cache_path = Some store }
+  in
+  let frames = [ partition_request ~id:"a" "Noise At Night Detector"; P.drain_frame ] in
+  let _, out1 = serve ~config frames in
+  let s2, out2 = serve ~config frames in
+  Alcotest.(check bool) "store file written" true (Sys.file_exists store);
+  Alcotest.(check int) "restart serves from disk" 1 s2.P.hits;
+  Alcotest.(check int) "no recompute" 0 s2.P.misses;
+  (match (responses out1, responses out2) with
+   | [ a ], [ b ] ->
+     Alcotest.(check string) "byte-identical across restart" a.P.output
+       b.P.output
+   | _ -> Alcotest.fail "expected one response per run");
+  (* A corrupted store must warn and start empty, never crash. *)
+  let oc = open_out store in
+  output_string oc "{\"schema\":\"something-else\"}";
+  close_out oc;
+  let warned = ref [] in
+  let config =
+    { config with Service.Server.log = (fun m -> warned := m :: !warned) }
+  in
+  let s3, _ = serve ~config frames in
+  Alcotest.(check int) "corrupt store recomputes" 1 s3.P.misses;
+  Alcotest.(check bool) "and warns" true
+    (List.exists
+       (fun m ->
+         String.length m >= 5 && String.sub m 0 5 = "cache")
+       !warned);
+  Sys.remove store
+
+(* ------------------------------------------------------------------ *)
+(* Isomorphic relabelling: same structure under fresh node ids hits the
+   canonical key and replays a valid solution in the new ids. *)
+
+let relabel offset g =
+  let g' =
+    List.fold_left
+      (fun acc id ->
+        let n = Graph.node g id in
+        fst (Graph.add ~id:(id + offset) acc n.Graph.descriptor))
+      Graph.empty (Graph.node_ids g)
+  in
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      Graph.connect acc
+        ~src:(e.src.node + offset, e.src.port)
+        ~dst:(e.dst.node + offset, e.dst.port))
+    g' (Graph.edges g)
+
+let quality_lines report =
+  (* the inner-block and cost lines — id-independent solution quality *)
+  String.split_on_char '\n' report
+  |> List.filter (fun l ->
+         String.length l > 0
+         && (String.sub l 0 5 = "inner" || String.sub l 0 7 = "network"))
+
+let test_relabel_hits () =
+  let g = find_design "Podium Timer 3" in
+  let g' = relabel 100 g in
+  let frames =
+    [
+      text_request ~id:"orig" (Netlist.Textio.to_string g);
+      text_request ~id:"relabeled" (Netlist.Textio.to_string g');
+      P.drain_frame;
+    ]
+  in
+  let summary, out = serve frames in
+  Alcotest.(check int) "relabelling is the hit" 1 summary.P.hits;
+  Alcotest.(check int) "only the original computes" 1 summary.P.misses;
+  match responses out with
+  | [ orig; rel ] ->
+    Alcotest.(check string) "relabelled status ok" "ok" (status_of rel);
+    check_cache "relabelled served from cache" "hit" (cache_of rel);
+    Alcotest.(check (list string))
+      "equal solution quality" (quality_lines orig.P.output)
+      (quality_lines rel.P.output);
+    Alcotest.(check string) "ids in the reply belong to the request"
+      (oneshot_report g') rel.P.output
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs)
+
+let test_canon_relabel_digest () =
+  List.iter
+    (fun d ->
+      let g = d.Designs.Design.network in
+      let c = Service.Canon.of_graph g in
+      let c' = Service.Canon.of_graph (relabel 1000 g) in
+      Alcotest.(check bool)
+        (d.Designs.Design.name ^ " canonises exactly")
+        true
+        (Service.Canon.exact c);
+      Alcotest.(check string)
+        (d.Designs.Design.name ^ " digest is label-free")
+        (Service.Canon.digest c)
+        (Service.Canon.digest c'))
+    Designs.Library.table1
+
+(* ------------------------------------------------------------------ *)
+(* Deadline expiry answers that request and nothing else. *)
+
+let test_deadline_expiry_survives () =
+  let frames =
+    [
+      partition_request ~id:"slow" ~backend:Service.Oneshot.Exhaustive
+        ~deadline_s:1e-6 "Timed Passage";
+      partition_request ~id:"fast" "Podium Timer 3";
+      P.drain_frame;
+      (* a second batch proves the server outlives the expiry *)
+      partition_request ~id:"after" "Podium Timer 3";
+      P.drain_frame;
+    ]
+  in
+  let summary, out = serve frames in
+  (match responses out with
+   | [ slow; fast; after ] ->
+     Alcotest.(check string) "expired status" "deadline_expired"
+       (status_of slow);
+     check_cache "expired result is not cached" "uncached" (cache_of slow);
+     Alcotest.(check string) "batchmate still answers" "ok" (status_of fast);
+     Alcotest.(check string) "server survives into the next batch" "hit"
+       (cache_of after)
+   | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs));
+  Alcotest.(check int) "counted once" 1 summary.P.deadline_expired
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure: a bounded queue rejects the overflow with a reason. *)
+
+let test_backpressure () =
+  let config = { Service.Server.default_config with queue = 3 } in
+  let frames =
+    List.map
+      (fun i -> partition_request ~id:(Printf.sprintf "r%d" i) "Podium Timer 3")
+      [ 1; 2; 3; 4; 5 ]
+    @ [ P.drain_frame ]
+  in
+  let summary, out = serve ~config frames in
+  let rs = responses out in
+  Alcotest.(check int) "five responses" 5 (List.length rs);
+  Alcotest.(check (list string))
+    "first three accepted, last two rejected"
+    [ "ok"; "ok"; "ok"; "rejected"; "rejected" ]
+    (List.map status_of rs);
+  Alcotest.(check int) "summary counts them" 2 summary.P.rejected;
+  let last = List.nth rs 4 in
+  Alcotest.(check string) "reason names the bound"
+    "queue full (capacity 3)" last.P.output
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity against the one-shot path, on every Table 1 design and
+   both fast backends. *)
+
+let test_table1_byte_identity () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun d ->
+          let name = d.Designs.Design.name in
+          let frames =
+            [
+              partition_request ~backend ~id:"x" name;
+              partition_request ~backend ~id:"y" name;
+              P.drain_frame;
+            ]
+          in
+          let _, out = serve frames in
+          match responses out with
+          | [ x; y ] ->
+            let expected = oneshot_report ~backend d.Designs.Design.network in
+            Alcotest.(check string)
+              (name ^ ": served = one-shot") expected x.P.output;
+            check_cache (name ^ ": resubmit hits") "hit" (cache_of y);
+            Alcotest.(check string)
+              (name ^ ": hit = one-shot") expected y.P.output
+          | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs))
+        Designs.Library.table1)
+    [ Service.Oneshot.Paredown; Service.Oneshot.Aggregation ]
+
+(* ------------------------------------------------------------------ *)
+(* The full response stream is invariant under --jobs. *)
+
+let test_jobs_invariance () =
+  let frames =
+    List.concat_map
+      (fun d ->
+        [
+          partition_request ~id:(d.Designs.Design.name ^ "/p")
+            d.Designs.Design.name;
+          partition_request ~backend:Service.Oneshot.Aggregation
+            ~id:(d.Designs.Design.name ^ "/a")
+            d.Designs.Design.name;
+        ])
+      Designs.Library.table1
+    @ [ P.drain_frame ]
+  in
+  let run jobs =
+    serve ~config:{ Service.Server.default_config with jobs } frames
+  in
+  let s1, out1 = run 1 in
+  let s4, out4 = run 4 in
+  Alcotest.(check (list string)) "streams byte-identical across jobs"
+    out1 out4;
+  Alcotest.(check int) "same misses" s1.P.misses s4.P.misses;
+  Alcotest.(check int) "same hits" s1.P.hits s4.P.hits
+
+(* A request that raises answers [error] and spares the batch — and the
+   failure report is the lowest-index one, like the sequential path. *)
+let test_error_isolated () =
+  let frames =
+    [
+      partition_request ~id:"bad" "No Such Design";
+      partition_request ~id:"good" "Podium Timer 3";
+      P.drain_frame;
+    ]
+  in
+  let summary, out = serve frames in
+  (match responses out with
+   | [ bad; good ] ->
+     Alcotest.(check string) "bad request errors" "error" (status_of bad);
+     Alcotest.(check string) "good request unaffected" "ok" (status_of good)
+   | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  Alcotest.(check int) "counted" 1 summary.P.errors
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "resubmit hits byte-identically" `Quick
+            test_resubmit_hits;
+          Alcotest.test_case "persisted store survives restart" `Quick
+            test_resubmit_across_restart;
+          Alcotest.test_case "isomorphic relabelling hits" `Quick
+            test_relabel_hits;
+          Alcotest.test_case "canonical digest is label-free on Table 1"
+            `Quick test_canon_relabel_digest;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "deadline expiry answers, server survives"
+            `Quick test_deadline_expiry_survives;
+          Alcotest.test_case "bounded queue rejects with reason" `Quick
+            test_backpressure;
+          Alcotest.test_case "errors are per-request" `Quick
+            test_error_isolated;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "served = one-shot on Table 1" `Quick
+            test_table1_byte_identity;
+          Alcotest.test_case "stream invariant under --jobs" `Quick
+            test_jobs_invariance;
+        ] );
+    ]
